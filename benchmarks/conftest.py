@@ -1,0 +1,43 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table/figure/demonstration from the paper
+(see the experiment index in DESIGN.md) and prints the rows it produced,
+so ``pytest benchmarks/ --benchmark-only -s`` output doubles as the data
+recorded in EXPERIMENTS.md.  ``pytest-benchmark`` additionally reports the
+wall-clock cost of running each simulated experiment.
+
+Because pytest captures stdout by default, every table is *also* appended
+to ``benchmarks/latest_results.txt``, so the regenerated data survives a
+capture-enabled run.  The file is truncated at the start of each session.
+"""
+
+from __future__ import annotations
+
+import pathlib
+from typing import Any, Dict, List
+
+from repro.harness.reporting import format_dict, format_table
+
+RESULTS_PATH = pathlib.Path(__file__).parent / "latest_results.txt"
+
+
+def pytest_sessionstart(session) -> None:
+    RESULTS_PATH.write_text("Regenerated experiment tables (see EXPERIMENTS.md)\n")
+
+
+def _emit(text: str) -> None:
+    print(text)
+    with RESULTS_PATH.open("a") as handle:
+        handle.write(text + "\n")
+
+
+def print_rows(title: str, rows: List[Dict[str, Any]]) -> None:
+    """Print (and persist) a result table under its experiment title."""
+    _emit("")
+    _emit(format_table(list(rows[0].keys()), [list(row.values()) for row in rows], title=title))
+
+
+def print_block(title: str, data: Dict[str, Any]) -> None:
+    """Print (and persist) a key/value result block."""
+    _emit("")
+    _emit(format_dict(title, data))

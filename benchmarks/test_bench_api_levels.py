@@ -1,0 +1,28 @@
+"""Benchmark X7: API transparency levels.
+
+Paper design (§2.2.2): OFTT "allows the application to use the fault
+tolerance in different levels of transparency" — from a single
+``OFTTInitialize`` line, through ``OFTTSelSave`` designation, to
+event-based ``OFTTSave``.
+
+This harness runs the Call Track workload at three integration levels
+and reports checkpoint traffic vs state lost at failover.
+
+Expected shape: L1 (init-only) ships the biggest checkpoints; L2
+(selective) shrinks them; L3 (event-based) checkpoints most often and
+loses no completed calls at failover — the paper's argument for a
+non-transparent, user-directed API.
+"""
+
+from repro.harness.experiments import exp_api_levels
+
+from benchmarks.conftest import print_rows
+
+
+def test_bench_api_levels(benchmark):
+    rows = benchmark.pedantic(lambda: exp_api_levels(seed=23), rounds=1, iterations=1)
+    print_rows("X7: integration level vs checkpoint cost and staleness", rows)
+    levels = {row["level"]: row for row in rows}
+    assert levels["L2 selective"]["mean_checkpoint_bytes"] < levels["L1 init-only"]["mean_checkpoint_bytes"]
+    assert levels["L3 event-based"]["checkpoints_taken"] >= levels["L2 selective"]["checkpoints_taken"]
+    assert levels["L3 event-based"]["events_lost"] == 0

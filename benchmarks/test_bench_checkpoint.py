@@ -1,0 +1,31 @@
+"""Benchmark X1: checkpoint cost — full vs selective vs incremental.
+
+Paper claim (§2.2.2): the OFTT API is "not totally transparent" because
+"in some cases, user directed checkpointing mechanism can improve the
+performance" [10, 11] — i.e. ``OFTTSelSave`` designation should beat the
+full memory walkthrough.  This harness sweeps application state size and
+reports mean bytes per checkpoint for each capture mode.
+
+Expected shape: selective is constant and tiny regardless of state size;
+full grows linearly; incremental tracks the change rate, far below full.
+"""
+
+from repro.harness.experiments import exp_checkpoint_cost
+
+from benchmarks.conftest import print_rows
+
+
+def test_bench_checkpoint_cost(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp_checkpoint_cost(seed=11, cold_sizes_kb=[16, 64, 256]),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("X1: checkpoint bytes by capture mode and state size", rows)
+    by_key = {(row["cold_kb"], row["mode"]): row["mean_bytes"] for row in rows}
+    for size in (16, 64, 256):
+        assert by_key[(size, "selective")] < by_key[(size, "full")] / 10
+        assert by_key[(size, "incremental")] < by_key[(size, "full")] / 2
+    # Full grows with the state; selective does not.
+    assert by_key[(256, "full")] > by_key[(16, "full")] * 4
+    assert by_key[(256, "selective")] == by_key[(16, "selective")]

@@ -1,0 +1,28 @@
+"""Benchmark X6: DCOM's RPC failure behaviour vs OFTT detection.
+
+Paper complaint (§3.3): "the DCOM does not have a well-defined built-in
+fault tolerance infrastructure.  For example, its RPC service does not
+behave well in the presence of failures, and additional design efforts
+have to be made in order to compensate for the deficiency."
+
+This harness measures how long a client takes to learn its server died:
+(1) raw DCOM call against a dead node — silence until the long RPC
+timeout; (2) raw DCOM call against a dead process — fast
+RPC_E_DISCONNECTED; (3) the OFTT compensation — heartbeat detection well
+inside the RPC timeout, followed by failover.
+
+Expected shape: OFTT detection beats the dead-node RPC path by the ratio
+of heartbeat timeout to RPC timeout (4x with defaults).
+"""
+
+from repro.harness.experiments import exp_dcom
+
+from benchmarks.conftest import print_block
+
+
+def test_bench_dcom_failure_behaviour(benchmark):
+    result = benchmark.pedantic(lambda: exp_dcom(seed=19), rounds=1, iterations=1)
+    print_block("X6: time for a client to learn its server died", result)
+    assert result["dead_node_rpc_latency_ms"] >= result["rpc_timeout_config_ms"]
+    assert result["dead_process_latency_ms"] < 100.0
+    assert result["oftt_detection_latency_ms"] < result["dead_node_rpc_latency_ms"] / 2

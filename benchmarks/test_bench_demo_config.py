@@ -1,0 +1,19 @@
+"""Benchmark F3/T1: the demonstration configuration.
+
+Paper artifacts: Figure 3 ("Demonstration Configuration", three PCs on an
+Ethernet) and Table 1 ("Software Configuration": the software elements on
+the primary, backup, and test/interface nodes).  This harness regenerates
+Table 1 from the live system and verifies every element is where the
+paper puts it.
+"""
+
+from repro.harness.experiments import exp_demo_config
+
+from benchmarks.conftest import print_rows
+
+
+def test_bench_demo_config(benchmark):
+    rows = benchmark.pedantic(lambda: exp_demo_config(seed=9), rounds=1, iterations=1)
+    print_rows("F3/T1: Table 1 software configuration, verified live", rows)
+    assert all(row["app_running"] == row["expected_app_running"] for row in rows)
+    assert sorted(row["role"] for row in rows if row["node"] != "test-pc") == ["backup", "primary"]

@@ -1,0 +1,26 @@
+"""Benchmark X2: failure-detection latency vs heartbeat settings.
+
+Paper mechanism (§2.2.1): "If it does not receive the [heartbeat] message
+after the pre-specified timeout, it considers the component fails and
+initiates a recovery provision."  This harness hangs the application
+(heartbeats stop, process stays alive, so only the heartbeat path can
+detect it) and measures detection latency for a sweep of
+(period, timeout) settings.
+
+Expected shape: detection latency ≈ timeout + O(sweep period), scaling
+linearly with the configured timeout.
+"""
+
+from repro.harness.experiments import exp_detection_latency
+
+from benchmarks.conftest import print_rows
+
+
+def test_bench_detection_latency(benchmark):
+    rows = benchmark.pedantic(lambda: exp_detection_latency(seed=13), rounds=1, iterations=1)
+    print_rows("X2: hang-detection latency vs heartbeat period/timeout", rows)
+    assert all(row["detected"] for row in rows)
+    latencies = [row["detection_ms"] for row in rows]
+    assert latencies == sorted(latencies)  # monotone in the timeout
+    for row in rows:
+        assert row["timeout_ms"] <= row["detection_ms"] <= row["timeout_ms"] + 4 * row["heartbeat_period_ms"]

@@ -1,0 +1,26 @@
+"""Benchmark X5: recovery rules — local restart vs failover.
+
+Paper mechanism (§2.2.1): "the recovery rule ... specifies whether to
+initiate a local recovery (e.g., a transient fault), or to transfer
+control to the backup node (e.g., a permanent fault)."
+
+This harness injects the same transient application crash under two
+rules and reports recovery style and latency.
+
+Expected shape: the local-restart rule recovers in place (no role churn,
+no switchover, redundancy preserved); the always-failover rule hands over
+to the peer.  Both recover.
+"""
+
+from repro.harness.experiments import exp_recovery_rules
+
+from benchmarks.conftest import print_rows
+
+
+def test_bench_recovery_rules(benchmark):
+    rows = benchmark.pedantic(lambda: exp_recovery_rules(seed=17), rounds=1, iterations=1)
+    print_rows("X5: transient app crash under each recovery rule", rows)
+    local, failover = rows
+    assert local["recovered"] and failover["recovered"]
+    assert not local["switched_over"] and local["local_restarts"] == 1
+    assert failover["switched_over"] and failover["local_restarts"] == 0

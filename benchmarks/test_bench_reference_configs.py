@@ -1,0 +1,19 @@
+"""Benchmark F1a/F1b: the Figure 1 reference configurations.
+
+Paper artifact: Figure 1(a) "Control with remote monitoring" and
+Figure 1(b) "Integrated Monitoring and Control".  The figure is a
+topology, not a data table; this harness verifies each configuration
+carries live plant data through the OPC stack and survives a node
+failure of the monitoring pair.
+"""
+
+from repro.harness.experiments import exp_reference_configs
+
+from benchmarks.conftest import print_rows
+
+
+def test_bench_reference_configs(benchmark):
+    rows = benchmark.pedantic(lambda: exp_reference_configs(seed=3), rounds=1, iterations=1)
+    print_rows("F1a/F1b: reference configurations under node failure", rows)
+    assert all(row["survived"] for row in rows)
+    assert all(row["primary_after"] != row["primary_before"] for row in rows)

@@ -1,0 +1,33 @@
+"""Benchmark X3: the §3.2 startup non-determinism experiment.
+
+Paper narrative: the original startup logic — come up as backup, wait for
+the peer's message, shut down on timeout — interacted with NT's
+unpredictable boot times so that "the first node that starts up would
+frequently shut down".  "Additional logic was added to initiate retries
+several times before it shuts down.  It effectively solves the original
+problem."
+
+This harness boots pairs with large random boot skew (jitter larger than
+the negotiation wait) under the SHUTDOWN give-up policy, sweeping the
+retry budget, and reports the false-shutdown rate.
+
+Expected shape: a substantial shutdown rate at 0 retries, falling to zero
+once the retry budget covers the boot skew.
+"""
+
+from repro.harness.experiments import exp_startup
+
+from benchmarks.conftest import print_rows
+
+
+def test_bench_startup_retries(benchmark):
+    rows = benchmark.pedantic(
+        lambda: exp_startup(seeds=list(range(25)), retry_settings=[0, 1, 3, 5]),
+        rounds=1,
+        iterations=1,
+    )
+    print_rows("X3: false-shutdown rate vs startup retry budget", rows)
+    rates = [row["shutdown_rate"] for row in rows]
+    assert rates[0] > 0.2  # the original logic fails often
+    assert rates == sorted(rates, reverse=True)  # retries monotonically help
+    assert rates[-1] == 0.0  # and eventually solve it, as the paper reports

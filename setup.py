@@ -1,0 +1,12 @@
+"""Setuptools shim.
+
+The canonical metadata lives in ``pyproject.toml``; this file exists so
+that fully offline environments (no ``wheel`` package available) can still
+do an editable install via the legacy path::
+
+    pip install -e . --no-use-pep517 --no-build-isolation
+"""
+
+from setuptools import setup
+
+setup()

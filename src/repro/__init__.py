@@ -1,0 +1,34 @@
+"""OFTT — OLE Fault Tolerance Technology, reproduced in simulation.
+
+A from-scratch Python reproduction of *"OFTT: A Fault Tolerance
+Middleware Toolkit for Process Monitoring and Control Windows NT
+Applications"* (Hecht, An, Zhang & He, DSN 2000), including every
+substrate the paper's system runs on:
+
+* :mod:`repro.simnet` — deterministic discrete-event kernel + network.
+* :mod:`repro.nt` — simulated Windows NT machines, processes, threads,
+  memory, Win32-style APIs and IAT interception.
+* :mod:`repro.com` — COM object model and DCOM remoting with realistic
+  RPC failure semantics.
+* :mod:`repro.msq` — MSMQ-style store-and-forward message queues.
+* :mod:`repro.opc` — OPC data-access servers, groups and clients.
+* :mod:`repro.devices` — PLCs, sensors, fieldbus, and the §4 telephone
+  system simulator.
+* :mod:`repro.core` — **the OFTT middleware itself**: engine, FTIMs,
+  checkpointing, role negotiation, watchdogs, Message Diverter, System
+  Monitor, and the ``OFTT*`` API.
+* :mod:`repro.apps` — protected applications (Call Track, SCADA).
+* :mod:`repro.faults` — scripted fault injection (the §4 demos and more).
+* :mod:`repro.harness` — scenario builders and experiment runners for
+  every figure/table/demonstration in the paper.
+
+Quick start::
+
+    from repro.core import OfttApi, OfttApplication, OfttConfig, OfttPair
+
+See ``examples/quickstart.py`` for a complete runnable deployment.
+"""
+
+from repro._version import __version__
+
+__all__ = ["__version__"]

@@ -1,0 +1,3 @@
+"""Version of the OFTT reproduction library."""
+
+__version__ = "1.0.0"

@@ -1,0 +1,19 @@
+"""OFTT-protected applications.
+
+* :class:`CallTrackApp` — the paper's §4 demonstration application: an
+  OPC-client-style monitoring program tracking a simulated small-office
+  telephone system (5 lines, 10 callers) and maintaining a busy-line
+  histogram.
+* :class:`CallingHistoryGenerator` — the Table 1 "Calling History
+  generator" on the test PC: the authoritative record of what actually
+  happened, used to validate recovered application state.
+* :class:`ScadaMonitorApp` — a Figure 1 style SCADA monitoring/control
+  OPC client with alarm counting, trend buffers and setpoint writes.
+"""
+
+from repro.apps.calltrack import CallTrackApp
+from repro.apps.history import CallingHistoryGenerator
+from repro.apps.opcserver import OpcServerApp
+from repro.apps.scada import ScadaMonitorApp
+
+__all__ = ["CallTrackApp", "CallingHistoryGenerator", "OpcServerApp", "ScadaMonitorApp"]

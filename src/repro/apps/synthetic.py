@@ -1,0 +1,98 @@
+"""Synthetic stateful application for checkpoint experiments.
+
+Carries a configurable amount of state split between *hot* variables
+(mutated every tick) and *cold* bulk payload (written once), so the X1
+experiment can compare full, selective, and incremental checkpointing on
+the same workload: selective captures only what the developer designated,
+incremental captures only what changed.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.core.api import OfttApi
+from repro.core.appdriver import OfttApplication
+from repro.nt.process import NTProcess
+from repro.simnet.events import Timeout
+
+
+class SyntheticStateApp(OfttApplication):
+    """An app with ``cold_kb`` of static payload and a hot counter set."""
+
+    name = "synthetic"
+
+    def __init__(
+        self,
+        cold_kb: int = 64,
+        hot_vars: int = 8,
+        tick_period: float = 100.0,
+        mode: str = "full",
+        checkpoint_period: Optional[float] = None,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        mode:
+            ``"full"`` — level-1 API, whole address space each period;
+            ``"selective"`` — ``OFTTSelSave`` on the hot variables;
+            ``"incremental"`` — full designation but delta encoding.
+        """
+        super().__init__()
+        if mode not in ("full", "selective", "incremental"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.cold_kb = cold_kb
+        self.hot_vars = hot_vars
+        self.tick_period = tick_period
+        self.mode = mode
+        self.checkpoint_period = checkpoint_period
+        self.api: Optional[OfttApi] = None
+
+    def launch(self, image: Optional[Dict[str, Any]]) -> NTProcess:
+        context = self.context
+        assert context is not None, "install() must run before launch()"
+        process = context.system.create_process(self.name)
+        self.process = process
+        space = process.address_space
+        restored = dict(image.get("globals", {})) if image else {}
+
+        # Cold payload: 1 KiB strings, written once.
+        for block in range(self.cold_kb):
+            key = f"cold_{block:04d}"
+            space.write(key, restored.get(key, "x" * 1024))
+        for index in range(self.hot_vars):
+            key = f"hot_{index:02d}"
+            space.write(key, restored.get(key, 0))
+        space.write("ticks", restored.get("ticks", 0))
+
+        def main_body(_thread):
+            def loop():
+                while True:
+                    yield Timeout(self.tick_period)
+                    ticks = space.read("ticks") + 1
+                    space.write("ticks", ticks)
+                    for index in range(self.hot_vars):
+                        key = f"hot_{index:02d}"
+                        space.write(key, space.read(key) + 1)
+
+            return loop()
+
+        process.create_thread("main", body=main_body, dynamic=False)
+        process.start()
+
+        api = OfttApi(context, self.name, process)
+        api.OFTTInitialize(stateful=True, checkpoint_period=self.checkpoint_period)
+        if self.mode == "selective":
+            hot_names = [f"hot_{i:02d}" for i in range(self.hot_vars)] + ["ticks"]
+            api.OFTTSelSave("globals", hot_names)
+        elif self.mode == "incremental":
+            api.ftim.incremental = True
+        self.api = api
+        self.launch_count += 1
+        return process
+
+    def ticks(self) -> int:
+        """Progress counter (0 when not running)."""
+        if self.process is None or not self.process.alive:
+            return 0
+        return self.process.address_space.read("ticks")

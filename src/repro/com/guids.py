@@ -1,0 +1,51 @@
+"""GUIDs: globally unique identifiers for interfaces and classes.
+
+Real COM GUIDs are 128-bit values; we derive ours deterministically from
+names (SHA-256 truncated) so that tests and traces are stable and the
+canonical string form looks like the familiar registry format.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+
+class GUID:
+    """An immutable 128-bit identifier with COM-style string rendering."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: int) -> None:
+        self._value = value & ((1 << 128) - 1)
+
+    @classmethod
+    def parse(cls, text: str) -> "GUID":
+        """Parse ``{XXXXXXXX-XXXX-XXXX-XXXX-XXXXXXXXXXXX}`` (braces optional)."""
+        cleaned = text.strip().strip("{}").replace("-", "")
+        if len(cleaned) != 32:
+            raise ValueError(f"malformed GUID: {text!r}")
+        return cls(int(cleaned, 16))
+
+    @property
+    def value(self) -> int:
+        """The raw 128-bit integer."""
+        return self._value
+
+    def __str__(self) -> str:
+        hex32 = f"{self._value:032X}"
+        return "{" + "-".join([hex32[0:8], hex32[8:12], hex32[12:16], hex32[16:20], hex32[20:32]]) + "}"
+
+    def __repr__(self) -> str:
+        return f"GUID({self})"
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, GUID) and other._value == self._value
+
+    def __hash__(self) -> int:
+        return hash(self._value)
+
+
+def guid_from_name(name: str) -> GUID:
+    """Deterministic GUID for *name* (namespaced hash)."""
+    digest = hashlib.sha256(f"repro.oftt:{name}".encode("utf-8")).digest()
+    return GUID(int.from_bytes(digest[:16], "big"))

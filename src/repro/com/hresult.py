@@ -1,0 +1,48 @@
+"""HRESULT codes used by the simulated COM runtime.
+
+Values match the real Windows SDK constants so traces read familiarly.
+"""
+
+from __future__ import annotations
+
+S_OK = 0x0000_0000
+S_FALSE = 0x0000_0001
+E_FAIL = 0x8000_4005
+E_POINTER = 0x8000_4003
+E_NOINTERFACE = 0x8000_4002
+E_OUTOFMEMORY = 0x8007_000E
+REGDB_E_CLASSNOTREG = 0x8004_0154
+CLASS_E_CLASSNOTAVAILABLE = 0x8004_0111
+RPC_E_TIMEOUT = 0x8001_011F
+RPC_E_DISCONNECTED = 0x8001_0108
+RPC_E_SERVERCALL_REJECTED = 0x8001_0002
+RPC_E_CALL_CANCELED = 0x8001_0002  # alias used by cancelled pending calls
+
+_NAMES = {
+    S_OK: "S_OK",
+    S_FALSE: "S_FALSE",
+    E_FAIL: "E_FAIL",
+    E_POINTER: "E_POINTER",
+    E_NOINTERFACE: "E_NOINTERFACE",
+    E_OUTOFMEMORY: "E_OUTOFMEMORY",
+    REGDB_E_CLASSNOTREG: "REGDB_E_CLASSNOTREG",
+    CLASS_E_CLASSNOTAVAILABLE: "CLASS_E_CLASSNOTAVAILABLE",
+    RPC_E_TIMEOUT: "RPC_E_TIMEOUT",
+    RPC_E_DISCONNECTED: "RPC_E_DISCONNECTED",
+    RPC_E_SERVERCALL_REJECTED: "RPC_E_SERVERCALL_REJECTED",
+}
+
+
+def succeeded(hresult: int) -> bool:
+    """COM SUCCEEDED() macro: non-negative (top bit clear)."""
+    return (hresult & 0x8000_0000) == 0
+
+
+def failed(hresult: int) -> bool:
+    """COM FAILED() macro."""
+    return not succeeded(hresult)
+
+
+def hresult_name(hresult: int) -> str:
+    """Symbolic name if known, else hex."""
+    return _NAMES.get(hresult, f"0x{hresult & 0xFFFFFFFF:08X}")

@@ -1,0 +1,45 @@
+"""COM interface declarations.
+
+An :class:`InterfaceDecl` names an interface, assigns its IID, and lists
+its method names.  :class:`~repro.com.object.ComObject` subclasses declare
+which interfaces they implement; ``QueryInterface`` and the DCOM proxy
+machinery consult these declarations to decide what is callable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Tuple
+
+from repro.com.guids import GUID, guid_from_name
+
+
+@dataclass(frozen=True)
+class InterfaceDecl:
+    """A COM interface: name, IID and method set."""
+
+    name: str
+    iid: GUID
+    methods: Tuple[str, ...]
+    base: Optional["InterfaceDecl"] = field(default=None)
+
+    def all_methods(self) -> Tuple[str, ...]:
+        """Methods including those inherited from the base chain."""
+        inherited = self.base.all_methods() if self.base is not None else ()
+        return inherited + self.methods
+
+    def has_method(self, method: str) -> bool:
+        """Whether *method* is part of this interface (or its bases)."""
+        return method in self.all_methods()
+
+    def __str__(self) -> str:
+        return f"{self.name} {self.iid}"
+
+
+def declare_interface(name: str, methods: Tuple[str, ...], base: Optional[InterfaceDecl] = None) -> InterfaceDecl:
+    """Declare an interface with a deterministic IID derived from *name*."""
+    return InterfaceDecl(name=name, iid=guid_from_name(f"IID:{name}"), methods=tuple(methods), base=base)
+
+
+#: The root of every interface hierarchy.
+IUNKNOWN = declare_interface("IUnknown", ("QueryInterface", "AddRef", "Release"))

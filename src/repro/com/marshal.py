@@ -1,0 +1,89 @@
+"""Marshaling for ORPC calls.
+
+Values crossing the wire are deep-copied (no shared state between nodes)
+and restricted to plain data: primitives, strings, bytes, lists, tuples,
+dicts, and :class:`ObjRef` — the marshaled form of an interface pointer.
+
+Generating "the DCOM server object proxy and stub" is called out in §3.3
+as a source of development friction and bugs; here the proxy/stub pair is
+generated automatically from the interface declaration, and the marshaler
+enforces the same what-can-cross-the-wire discipline MIDL would.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass
+from typing import Any, Tuple
+
+from repro.com.guids import GUID
+from repro.com.hresult import E_FAIL
+from repro.errors import ComError
+
+
+@dataclass(frozen=True)
+class ObjRef:
+    """A marshaled interface pointer: where the object lives and its id."""
+
+    node: str
+    oid: int
+    iids: Tuple[GUID, ...]
+    label: str = ""
+
+    def supports(self, iid: GUID) -> bool:
+        """Whether the exported object claimed *iid* at export time."""
+        return iid in self.iids
+
+    def __str__(self) -> str:
+        return f"objref:{self.node}/{self.oid}({self.label})"
+
+
+_SCALARS = (int, float, bool, str, bytes, type(None))
+
+
+def _check(value: Any, depth: int = 0) -> None:
+    if depth > 32:
+        raise ComError(E_FAIL, "marshal: structure too deep")
+    if isinstance(value, _SCALARS) or isinstance(value, (ObjRef, GUID)):
+        return
+    if isinstance(value, (list, tuple)):
+        for item in value:
+            _check(item, depth + 1)
+        return
+    if isinstance(value, dict):
+        for key, item in value.items():
+            if not isinstance(key, (str, int)):
+                raise ComError(E_FAIL, f"marshal: unsupported dict key type {type(key).__name__}")
+            _check(item, depth + 1)
+        return
+    raise ComError(E_FAIL, f"marshal: unsupported type {type(value).__name__}")
+
+
+def marshal_value(value: Any) -> Any:
+    """Validate and deep-copy *value* for transmission."""
+    _check(value)
+    return copy.deepcopy(value)
+
+
+def unmarshal_value(value: Any) -> Any:
+    """Deep-copy *value* on receipt (symmetric with :func:`marshal_value`)."""
+    return copy.deepcopy(value)
+
+
+def estimate_wire_size(value: Any) -> int:
+    """Approximate encoded size, used for network serialisation delay."""
+    if value is None or isinstance(value, bool):
+        return 4
+    if isinstance(value, (int, float)):
+        return 8
+    if isinstance(value, str):
+        return 4 + len(value)
+    if isinstance(value, bytes):
+        return 4 + len(value)
+    if isinstance(value, (GUID, ObjRef)):
+        return 32
+    if isinstance(value, (list, tuple)):
+        return 8 + sum(estimate_wire_size(item) for item in value)
+    if isinstance(value, dict):
+        return 8 + sum(estimate_wire_size(k) + estimate_wire_size(v) for k, v in value.items())
+    return 64

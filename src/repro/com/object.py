@@ -1,0 +1,94 @@
+"""Reference-counted COM objects.
+
+Subclasses declare ``IMPLEMENTS`` (a tuple of
+:class:`~repro.com.interfaces.InterfaceDecl`) and implement the declared
+methods as plain Python methods.  The base class supplies the IUnknown
+contract: ``QueryInterface``, ``AddRef``, ``Release``, plus a
+``final_release`` hook fired when the count hits zero.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.com.guids import GUID
+from repro.com.hresult import E_NOINTERFACE
+from repro.com.interfaces import IUNKNOWN, InterfaceDecl
+from repro.errors import ComError
+
+
+class ComObject:
+    """Base class for every COM object in the simulation."""
+
+    IMPLEMENTS: Tuple[InterfaceDecl, ...] = ()
+
+    def __init__(self) -> None:
+        self._refcount = 1
+        self._released = False
+
+    # -- IUnknown -----------------------------------------------------------
+
+    def QueryInterface(self, iid: GUID) -> "ComObject":
+        """Return self (with an added reference) if *iid* is implemented.
+
+        Raises :class:`ComError` with ``E_NOINTERFACE`` otherwise, matching
+        the COM contract.
+        """
+        for decl in self.interfaces():
+            if decl.iid == iid:
+                self.AddRef()
+                return self
+        raise ComError(E_NOINTERFACE, f"{type(self).__name__} does not implement {iid}")
+
+    def AddRef(self) -> int:
+        """Increment and return the reference count."""
+        if self._released:
+            raise ComError(E_NOINTERFACE, f"AddRef on destroyed {type(self).__name__}")
+        self._refcount += 1
+        return self._refcount
+
+    def Release(self) -> int:
+        """Decrement the count; destroy the object at zero."""
+        if self._released:
+            raise ComError(E_NOINTERFACE, f"Release on destroyed {type(self).__name__}")
+        self._refcount -= 1
+        if self._refcount == 0:
+            self._released = True
+            self.final_release()
+        return self._refcount
+
+    def final_release(self) -> None:
+        """Hook run exactly once when the last reference is released."""
+
+    # -- introspection ---------------------------------------------------------
+
+    def interfaces(self) -> Tuple[InterfaceDecl, ...]:
+        """All implemented interfaces (IUnknown always included)."""
+        if IUNKNOWN in self.IMPLEMENTS:
+            return self.IMPLEMENTS
+        return (IUNKNOWN,) + tuple(self.IMPLEMENTS)
+
+    def supports(self, iid: GUID) -> bool:
+        """Whether *iid* is among the implemented interfaces."""
+        return any(decl.iid == iid for decl in self.interfaces())
+
+    def find_interface(self, method: str) -> Optional[InterfaceDecl]:
+        """The first declared interface exposing *method*, if any."""
+        for decl in self.interfaces():
+            if decl.has_method(method):
+                return decl
+        return None
+
+    @property
+    def refcount(self) -> int:
+        """Current reference count (0 after destruction)."""
+        return self._refcount
+
+    @property
+    def destroyed(self) -> bool:
+        """Whether the final release has run."""
+        return self._released
+
+    def __repr__(self) -> str:
+        names = ",".join(decl.name for decl in self.interfaces())
+        return f"{type(self).__name__}(refs={self._refcount}, interfaces=[{names}])"

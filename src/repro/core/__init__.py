@@ -1,0 +1,60 @@
+"""The OFTT middleware toolkit — the paper's primary contribution.
+
+Layout mirrors Figure 2 of the paper:
+
+* :class:`OfttEngine` (:mod:`~repro.core.engine`) — role management,
+  failure detection, recovery management, status reporting.
+* :class:`ClientFtim` / :class:`ServerFtim` (:mod:`~repro.core.ftim`) —
+  the fault tolerance interface modules linked into applications.
+* :class:`OfttApi` (:mod:`~repro.core.api`) — ``OFTTInitialize`` and
+  friends, the paper's §2.2.2 API surface.
+* :class:`MessageDiverter` / :class:`DiverterClient`
+  (:mod:`~repro.core.diverter`) — MSMQ-based logical-unit addressing.
+* :class:`SystemMonitor` (:mod:`~repro.core.monitor`) — the status
+  display component.
+* :class:`OfttPair` (:mod:`~repro.core.cluster`) — assembles a
+  primary/backup pair with an application, ready for fault injection.
+"""
+
+from repro.core.config import OfttConfig, RecoveryRule, RecoveryAction, GiveUpPolicy
+from repro.core.status import ComponentKind, ComponentStatus, StatusReport
+from repro.core.heartbeat import HeartbeatMonitor
+from repro.core.roles import Role, RoleNegotiator
+from repro.core.checkpoint import Checkpoint, CheckpointStore
+from repro.core.watchdog import WatchdogTimer
+from repro.core.recovery import RecoveryManager
+from repro.core.appdriver import NodeContext, OfttApplication
+from repro.core.ftim import ClientFtim, ServerFtim
+from repro.core.api import OfttApi
+from repro.core.engine import OfttEngine
+from repro.core.diverter import DiverterClient, MessageDiverter, inbox_queue_name
+from repro.core.monitor import SystemMonitor
+from repro.core.cluster import OfttPair
+
+__all__ = [
+    "Checkpoint",
+    "CheckpointStore",
+    "ClientFtim",
+    "ComponentKind",
+    "ComponentStatus",
+    "DiverterClient",
+    "GiveUpPolicy",
+    "HeartbeatMonitor",
+    "MessageDiverter",
+    "NodeContext",
+    "OfttApi",
+    "OfttApplication",
+    "OfttConfig",
+    "OfttEngine",
+    "OfttPair",
+    "RecoveryAction",
+    "RecoveryManager",
+    "RecoveryRule",
+    "Role",
+    "RoleNegotiator",
+    "ServerFtim",
+    "StatusReport",
+    "SystemMonitor",
+    "WatchdogTimer",
+    "inbox_queue_name",
+]

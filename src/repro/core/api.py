@@ -1,0 +1,177 @@
+"""The OFTT application programming interface (§2.2.2).
+
+"At the minimum, [``OFTTInitialize``] is the only API an application needs
+to add in order to use the OFTT services" — the different levels of
+transparency the paper describes map onto how much of this surface an
+application touches:
+
+1. **Init-only**: call :meth:`OfttApi.OFTTInitialize` and nothing else.
+   Heartbeats and full periodic checkpoints happen automatically.
+2. **Selective**: also designate variables with :meth:`OFTTSelSave`,
+   reducing checkpoint size (the user-directed optimisation of [10, 11]).
+3. **Event-based**: additionally call :meth:`OFTTSave` at semantically
+   significant moments, and use watchdogs / :meth:`OFTTDistress`.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.appdriver import NodeContext
+from repro.core.config import RecoveryRule
+from repro.core.ftim import ClientFtim, ServerFtim
+from repro.core.roles import Role
+from repro.core.status import ComponentKind
+from repro.core.watchdog import WatchdogTimer
+from repro.errors import NotInitialized, OfttError, WatchdogError
+from repro.nt.process import NTProcess
+
+
+class OfttApi:
+    """Per-application handle to the OFTT services on its node.
+
+    Construct one inside the application's ``launch`` with the hosting
+    process, then call :meth:`OFTTInitialize`.
+    """
+
+    def __init__(self, context: NodeContext, app_name: str, process: NTProcess) -> None:
+        self.context = context
+        self.app_name = app_name
+        self.process = process
+        self.ftim: Optional[ServerFtim] = None
+        self._watchdogs = {}
+
+    # -- initialization ---------------------------------------------------------
+
+    def OFTTInitialize(
+        self,
+        stateful: bool = True,
+        checkpoint_period: Optional[float] = None,
+        recovery_rule: Optional[RecoveryRule] = None,
+    ) -> None:
+        """Attach OFTT services to the application.
+
+        Parameters
+        ----------
+        stateful:
+            True links the checkpointing client FTIM; False links the
+            stateless server FTIM (OPC servers).
+        checkpoint_period:
+            Override the configured checkpoint interval.
+        recovery_rule:
+            Static recovery rule for this component (the paper's
+            compile-time option).
+        """
+        engine = self.context.engine
+        if engine is None or not engine.alive:
+            raise OfttError(f"no running OFTT engine on {self.context.node_name}")
+        if self.ftim is not None:
+            raise OfttError(f"{self.app_name}: OFTTInitialize called twice")
+        if stateful:
+            self.ftim = ClientFtim(engine, self.app_name, self.process, checkpoint_period=checkpoint_period)
+            kind = ComponentKind.APPLICATION
+        else:
+            self.ftim = ServerFtim(engine, self.app_name, self.process)
+            kind = ComponentKind.OPC_SERVER
+        engine.register_component(self.app_name, kind, self.process, rule=recovery_rule)
+
+    def _require_init(self) -> ServerFtim:
+        if self.ftim is None:
+            raise NotInitialized(f"{self.app_name}: call OFTTInitialize first")
+        return self.ftim
+
+    def _require_client_ftim(self) -> ClientFtim:
+        ftim = self._require_init()
+        if not isinstance(ftim, ClientFtim):
+            raise OfttError(f"{self.app_name}: checkpoint APIs need a stateful FTIM")
+        return ftim
+
+    # -- checkpoint control -------------------------------------------------------
+
+    def OFTTSelSave(self, region: str, variables: Optional[List[str]] = None) -> None:
+        """Designate checkpoint content (variables of a memory region)."""
+        self._require_client_ftim().select_variables(region, variables)
+
+    def OFTTSave(self) -> int:
+        """Checkpoint immediately, without waiting for the period.
+
+        Returns the checkpoint sequence number.
+        """
+        sequence = self._require_client_ftim().TakeCheckpoint()
+        assert sequence is not None
+        return sequence
+
+    def OFTTSaveDurable(self, timeout: Optional[float] = None):
+        """Checkpoint now and wait for the peer's acknowledgement.
+
+        Returns a waitable the calling thread ``yield``s: it fires True
+        once the backup has stored this checkpoint (the state change is
+        then provably replicated), or False after *timeout* — e.g. while
+        running degraded with no backup.  This closes the window plain
+        :meth:`OFTTSave` leaves between taking a checkpoint and the peer
+        actually holding it.
+        """
+        sequence = self.OFTTSave()
+        return self.context.engine.ack_event_for(sequence, timeout=timeout)
+
+    # -- role query ------------------------------------------------------------------
+
+    def OFTTGetMyRole(self) -> str:
+        """Role of this node: ``"primary"`` / ``"backup"`` / ..."""
+        self._require_init()
+        engine = self.context.engine
+        return engine.role.value if engine is not None else Role.UNDECIDED.value
+
+    # -- watchdogs ----------------------------------------------------------------------
+
+    def OFTTWatchdogCreate(self, name: str) -> WatchdogTimer:
+        """Create a reliable watchdog owned by this application."""
+        self._require_init()
+        engine = self.context.engine
+        watchdog = engine.watchdog_create(f"{self.app_name}:{name}", self.app_name)
+        self._watchdogs[name] = watchdog
+        return watchdog
+
+    def OFTTWatchdogSet(self, name: str, period: float) -> None:
+        """Arm the named watchdog."""
+        self._watchdog(name).set(period)
+
+    def OFTTWatchdogReset(self, name: str) -> None:
+        """Pet the named watchdog."""
+        self._watchdog(name).reset()
+
+    def OFTTWatchdogDelete(self, name: str) -> None:
+        """Destroy the named watchdog."""
+        self._watchdog(name).delete()
+        del self._watchdogs[name]
+
+    def _watchdog(self, name: str) -> WatchdogTimer:
+        if name not in self._watchdogs:
+            raise WatchdogError(f"{self.app_name}: no watchdog {name}")
+        return self._watchdogs[name]
+
+    # -- recovery rules -----------------------------------------------------------------------
+
+    def OFTTSetRecoveryRule(self, rule: RecoveryRule) -> None:
+        """Change this application's recovery rule at run time.
+
+        §2.2.1 allows the rule "either statically at compilation time or
+        dynamically at run-time" but notes "the current implementation
+        only supports static decision" — this is that future work,
+        implemented.
+        """
+        self._require_init()
+        self.context.engine.set_recovery_rule(self.app_name, rule)
+
+    # -- distress --------------------------------------------------------------------------
+
+    def OFTTDistress(self, reason: str) -> None:
+        """Report a significant problem and request a switchover
+        (honoured only "if application on the peer node is functional")."""
+        self._require_init()
+        engine = self.context.engine
+        engine.request_switchover(f"distress from {self.app_name}: {reason}")
+
+    def __repr__(self) -> str:
+        state = "initialized" if self.ftim is not None else "uninitialized"
+        return f"OfttApi({self.app_name} on {self.context.node_name}, {state})"

@@ -1,0 +1,153 @@
+"""Checkpoints: capture, serialization, storage.
+
+The client FTIM captures "the address space (or the selected subset) and
+the stack" plus thread contexts (§2.2.2).  A :class:`Checkpoint` is the
+captured image; :class:`CheckpointStore` is the engine-side store — every
+engine keeps its application's latest checkpoints both locally (for fast
+local restart) and mirrored from the peer (for failover).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CheckpointError
+from repro.nt.memory import _estimate_size
+
+
+@dataclass(frozen=True)
+class Checkpoint:
+    """One captured application state image."""
+
+    app_name: str
+    sequence: int
+    captured_at: float
+    #: Memory walkthrough: region name -> {variable -> value}.
+    image: Dict[str, Dict[str, Any]]
+    #: Thread register contexts: thread name -> context dict.
+    thread_contexts: Dict[str, Dict[str, Any]] = field(default_factory=dict)
+    #: True when produced by ``OFTTSelSave`` designation (subset capture).
+    selective: bool = False
+    #: True when this is an incremental delta against the previous one.
+    incremental: bool = False
+
+    def size_bytes(self) -> int:
+        """Estimated payload size (drives transfer-cost modelling)."""
+        total = 64
+        for region in self.image.values():
+            total += 16 + _estimate_size(region)
+        total += 32 * len(self.thread_contexts)
+        return total
+
+    def as_wire(self) -> dict:
+        """Marshalable form for the engine-to-engine transfer."""
+        return {
+            "app_name": self.app_name,
+            "sequence": self.sequence,
+            "captured_at": self.captured_at,
+            "image": self.image,
+            "thread_contexts": self.thread_contexts,
+            "selective": self.selective,
+            "incremental": self.incremental,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "Checkpoint":
+        """Inverse of :meth:`as_wire`."""
+        return cls(
+            app_name=data["app_name"],
+            sequence=data["sequence"],
+            captured_at=data["captured_at"],
+            image=data["image"],
+            thread_contexts=data["thread_contexts"],
+            selective=data["selective"],
+            incremental=data["incremental"],
+        )
+
+    def merged_onto(self, base: Optional["Checkpoint"]) -> "Checkpoint":
+        """Resolve an incremental checkpoint against *base*.
+
+        Full checkpoints return themselves.  An incremental checkpoint
+        overlays its regions/variables on the base image.
+        """
+        if not self.incremental:
+            return self
+        if base is None:
+            raise CheckpointError(f"incremental checkpoint {self.sequence} for {self.app_name} has no base")
+        merged_image: Dict[str, Dict[str, Any]] = {k: dict(v) for k, v in base.image.items()}
+        for region, variables in self.image.items():
+            merged_image.setdefault(region, {}).update(variables)
+        merged_contexts = dict(base.thread_contexts)
+        merged_contexts.update(self.thread_contexts)
+        return Checkpoint(
+            app_name=self.app_name,
+            sequence=self.sequence,
+            captured_at=self.captured_at,
+            image=merged_image,
+            thread_contexts=merged_contexts,
+            selective=self.selective,
+            incremental=False,
+        )
+
+    def __repr__(self) -> str:
+        kind = "selective" if self.selective else "full"
+        if self.incremental:
+            kind += "+incremental"
+        return f"Checkpoint({self.app_name} #{self.sequence}, {kind}, ~{self.size_bytes()}B)"
+
+
+class CheckpointStore:
+    """Bounded per-application checkpoint history.
+
+    Incremental checkpoints are resolved against the stored latest at
+    insertion time, so :meth:`latest` always returns a restorable full
+    image.  Sequence numbers must be monotone per application; stale
+    arrivals (switchover races, duplicated transfers) are rejected.
+    """
+
+    def __init__(self, history: int = 8) -> None:
+        if history < 1:
+            raise CheckpointError("history must be at least 1")
+        self.history = history
+        self._by_app: Dict[str, List[Checkpoint]] = {}
+        self.stored_count = 0
+        self.rejected_count = 0
+
+    def store(self, checkpoint: Checkpoint) -> bool:
+        """Insert a checkpoint.  Returns False for stale sequences."""
+        chain = self._by_app.setdefault(checkpoint.app_name, [])
+        if chain and checkpoint.sequence <= chain[-1].sequence:
+            self.rejected_count += 1
+            return False
+        resolved = checkpoint.merged_onto(chain[-1] if chain else None)
+        chain.append(resolved)
+        if len(chain) > self.history:
+            del chain[: len(chain) - self.history]
+        self.stored_count += 1
+        return True
+
+    def latest(self, app_name: str) -> Optional[Checkpoint]:
+        """Most recent full checkpoint for *app_name* (None if none)."""
+        chain = self._by_app.get(app_name)
+        return chain[-1] if chain else None
+
+    def latest_sequence(self, app_name: str) -> int:
+        """Highest stored sequence (0 when empty)."""
+        latest = self.latest(app_name)
+        return latest.sequence if latest is not None else 0
+
+    def all_for(self, app_name: str) -> List[Checkpoint]:
+        """The retained history, oldest first."""
+        return list(self._by_app.get(app_name, []))
+
+    def clear(self, app_name: Optional[str] = None) -> None:
+        """Drop one app's chain, or everything."""
+        if app_name is None:
+            self._by_app.clear()
+        else:
+            self._by_app.pop(app_name, None)
+
+    def __repr__(self) -> str:
+        summary = {app: len(chain) for app, chain in sorted(self._by_app.items())}
+        return f"CheckpointStore({summary})"

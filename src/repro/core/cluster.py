@@ -1,0 +1,183 @@
+"""Pair assembly: wire two nodes into an OFTT logical execution unit.
+
+"Two redundant computers are paired up via one or dual Ethernet networks
+and form a single logic execution unit" (§2.1).  :class:`OfttPair` builds
+exactly that: given two booted NT machines and an application factory, it
+installs a :class:`NodeContext`, an engine and an application copy on each
+node, starts negotiation, and exposes the queries fault-injection
+harnesses need (who is primary, switchover timing, state of both copies).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.com.runtime import ComRuntime
+from repro.core.appdriver import NodeContext, OfttApplication
+from repro.core.config import OfttConfig
+from repro.core.diverter import MessageDiverter
+from repro.core.engine import OfttEngine
+from repro.core.roles import Role
+from repro.errors import OfttError
+from repro.msq.manager import QueueManager
+from repro.nt.system import NTSystem
+from repro.simnet.network import Network
+from repro.simnet.trace import TraceLog
+
+# app_factory() -> a fresh OfttApplication (or list of them) per node.
+AppFactory = Callable[[], object]
+
+
+class OfttPair:
+    """A primary/backup pair plus its application copies."""
+
+    def __init__(
+        self,
+        network: Network,
+        systems: Dict[str, NTSystem],
+        config: OfttConfig,
+        app_factory: AppFactory,
+        unit: str = "unit",
+        monitor_nodes: Optional[List[str]] = None,
+        subscriber_nodes: Optional[List[str]] = None,
+        preferred_primary: str = "",
+        trace: Optional[TraceLog] = None,
+    ) -> None:
+        if len(systems) != 2:
+            raise OfttError("an OFTT pair needs exactly two systems")
+        config.validate()
+        self.network = network
+        self.kernel = network.kernel
+        self.config = config
+        self.unit = unit
+        self.trace = trace if trace is not None else network.trace
+        self.node_names = sorted(systems)
+        self.systems = systems
+        self.contexts: Dict[str, NodeContext] = {}
+        self.engines: Dict[str, OfttEngine] = {}
+        #: First (primary) application per node — the common single-app case.
+        self.apps: Dict[str, OfttApplication] = {}
+        #: Every managed application per node.
+        self.all_apps: Dict[str, List[OfttApplication]] = {}
+        self.diverter = MessageDiverter(unit, self.node_names[0], self.node_names[1])
+        self._app_factory = app_factory
+        self._monitor_nodes = list(monitor_nodes or [])
+        self._subscriber_nodes = list(subscriber_nodes or [])
+        self._preferred_primary = preferred_primary
+        for name in self.node_names:
+            self._install_node(name)
+
+    def _install_node(self, name: str) -> None:
+        system = self.systems[name]
+        if not system.is_up:
+            raise OfttError(f"node {name} must be booted before pair assembly")
+        peer = self.node_names[1] if name == self.node_names[0] else self.node_names[0]
+        runtime = ComRuntime(system, self.network)
+        qmgr = QueueManager(self.kernel, self.network, system.node)
+        qmgr.attach_to_system(system)
+        context = NodeContext(
+            system=system,
+            runtime=runtime,
+            qmgr=qmgr,
+            config=self.config,
+            trace=self.trace,
+        )
+        produced = self._app_factory()
+        applications = list(produced) if isinstance(produced, (list, tuple)) else [produced]
+        for application in applications:
+            application.install(context)
+        engine = OfttEngine(
+            context=context,
+            peer_node=peer,
+            application=applications,
+            monitor_nodes=self._monitor_nodes,
+            subscriber_nodes=self._subscriber_nodes,
+            preferred_primary=self._preferred_primary,
+        )
+        self.diverter.open_inbox(qmgr)
+        self.contexts[name] = context
+        self.engines[name] = engine
+        self.apps[name] = applications[0]
+        self.all_apps[name] = applications
+
+    # -- lifecycle -------------------------------------------------------------------
+
+    def start(self) -> None:
+        """Start both engines (they negotiate roles among themselves)."""
+        for name in self.node_names:
+            self.engines[name].start()
+
+    def reinstall_node(self, name: str) -> None:
+        """Rebuild one node's stack after its machine was rebooted.
+
+        Models the NT service restart path: the engine and application
+        are recreated on the (booted) machine and rejoin the pair.
+        """
+        system = self.systems[name]
+        if not system.is_up:
+            raise OfttError(f"reinstall_node({name}): machine is not up")
+        self._install_node(name)
+        self.engines[name].start()
+
+    # -- queries ------------------------------------------------------------------------
+
+    def engine(self, name: str) -> OfttEngine:
+        """The engine on node *name*."""
+        return self.engines[name]
+
+    def app(self, name: str) -> OfttApplication:
+        """The application copy on node *name*."""
+        return self.apps[name]
+
+    def primary_node(self) -> Optional[str]:
+        """The node whose live engine currently holds PRIMARY (None if
+        none, which happens transiently during negotiation/switchover)."""
+        primaries = [
+            name
+            for name in self.node_names
+            if self.engines[name].alive and self.engines[name].role is Role.PRIMARY
+        ]
+        if len(primaries) > 1:
+            raise OfttError(f"dual primary: {primaries}")
+        return primaries[0] if primaries else None
+
+    def backup_node(self) -> Optional[str]:
+        """The node whose live engine currently holds BACKUP."""
+        backups = [
+            name
+            for name in self.node_names
+            if self.engines[name].alive and self.engines[name].role is Role.BACKUP
+        ]
+        return backups[0] if backups else None
+
+    def running_app_nodes(self) -> List[str]:
+        """Nodes where any application copy is currently executing."""
+        return [name for name in self.node_names if any(app.running for app in self.all_apps[name])]
+
+    def is_stable(self) -> bool:
+        """One live primary running the app (the pair's steady state)."""
+        primary = None
+        try:
+            primary = self.primary_node()
+        except OfttError:
+            return False
+        return primary is not None and all(app.running for app in self.all_apps[primary])
+
+    def settle(self, max_time: float = 30_000.0, step: float = 50.0) -> float:
+        """Run the simulation until :meth:`is_stable` (returns the time).
+
+        Raises :class:`OfttError` if the pair does not stabilise within
+        *max_time* simulated ms.
+        """
+        deadline = self.kernel.now + max_time
+        while self.kernel.now < deadline:
+            if self.is_stable():
+                return self.kernel.now
+            self.kernel.run(until=self.kernel.now + step)
+        if self.is_stable():
+            return self.kernel.now
+        raise OfttError(f"pair {self.unit} did not stabilise within {max_time}ms")
+
+    def __repr__(self) -> str:
+        roles = {name: self.engines[name].role.value for name in self.node_names}
+        return f"OfttPair({self.unit}, roles={roles})"

@@ -1,0 +1,130 @@
+"""OFTT configuration: timeouts, periods, recovery rules.
+
+"How to recover from a detected failure is controlled by the recovery rule
+that specifies whether to initiate a local recovery (e.g., a transient
+fault), or to transfer control to the backup node (e.g., a permanent
+fault).  An application that uses the OFTT can explicitly specify the
+recovery rule either statically at compilation time or dynamically at
+run-time" (§2.2.1).  Both are supported here: pass rules at construction
+or swap them live with :meth:`OfttEngine.set_recovery_rule`.
+
+All durations are simulated milliseconds.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+
+class RecoveryAction(enum.Enum):
+    """What the engine does about a failed component."""
+
+    LOCAL_RESTART = "local-restart"
+    FAILOVER = "failover"
+    IGNORE = "ignore"
+
+
+class GiveUpPolicy(enum.Enum):
+    """What a node does when startup negotiation never hears the peer.
+
+    ``SHUTDOWN`` is the paper's original logic ("It will shut down itself
+    if it does not receive the message after a time-out period"), which
+    §3.2 reports caused frequent false shutdowns under NT's start-up
+    non-determinism.  ``GO_PRIMARY`` is the availability-oriented
+    alternative: after exhausting retries, assume the peer is absent and
+    run alone.
+    """
+
+    SHUTDOWN = "shutdown"
+    GO_PRIMARY = "go-primary"
+
+
+@dataclass(frozen=True)
+class RecoveryRule:
+    """Per-component recovery policy."""
+
+    #: Local restarts attempted (within the window) before escalating.
+    max_local_restarts: int = 1
+    #: Delay before a local restart begins.
+    restart_delay: float = 100.0
+    #: Failures inside this window count against ``max_local_restarts``.
+    transient_window: float = 30_000.0
+    #: Action once local restarts are exhausted.
+    escalation: RecoveryAction = RecoveryAction.FAILOVER
+
+    @staticmethod
+    def always_failover() -> "RecoveryRule":
+        """Treat every failure as permanent."""
+        return RecoveryRule(max_local_restarts=0)
+
+    @staticmethod
+    def local_only(max_restarts: int = 1_000_000) -> "RecoveryRule":
+        """Never fail over; keep restarting locally."""
+        return RecoveryRule(max_local_restarts=max_restarts, escalation=RecoveryAction.IGNORE)
+
+
+@dataclass
+class OfttConfig:
+    """Tunables for one OFTT deployment (shared by both pair nodes)."""
+
+    # Failure detection (§2.2.1: heartbeats with a pre-specified timeout).
+    heartbeat_period: float = 100.0
+    heartbeat_timeout: float = 500.0
+    #: Also catch component death via OS process-exit hooks (faster than
+    #: the heartbeat timeout; disable to measure pure heartbeat latency).
+    use_exit_hooks: bool = True
+
+    # Checkpointing (§2.2.2).
+    checkpoint_period: float = 1_000.0
+    #: Network timeout waiting for the peer's checkpoint acknowledgement.
+    checkpoint_ack_timeout: float = 1_000.0
+    #: Checkpoints kept in each store (latest is what recovery uses).
+    checkpoint_history: int = 8
+
+    # Startup negotiation (§3.2).
+    startup_wait: float = 1_000.0
+    startup_retries: int = 5
+    give_up_policy: GiveUpPolicy = GiveUpPolicy.GO_PRIMARY
+
+    # Peer monitoring.
+    peer_heartbeat_period: float = 100.0
+    peer_heartbeat_timeout: float = 500.0
+
+    # Status reporting (§2.2.1 / §2.2.4).
+    status_report_period: float = 1_000.0
+
+    # Recovery rules by component name; ``default_rule`` covers the rest.
+    recovery_rules: Dict[str, RecoveryRule] = field(default_factory=dict)
+    default_rule: RecoveryRule = field(default_factory=RecoveryRule)
+
+    def rule_for(self, component: str) -> RecoveryRule:
+        """The recovery rule governing *component*."""
+        return self.recovery_rules.get(component, self.default_rule)
+
+    def with_rule(self, component: str, rule: RecoveryRule) -> "OfttConfig":
+        """Copy of this config with one component's rule replaced."""
+        rules = dict(self.recovery_rules)
+        rules[component] = rule
+        return replace_config(self, recovery_rules=rules)
+
+    def validate(self) -> None:
+        """Sanity-check relationships between the tunables."""
+        if self.heartbeat_timeout <= self.heartbeat_period:
+            raise ValueError("heartbeat_timeout must exceed heartbeat_period")
+        if self.peer_heartbeat_timeout <= self.peer_heartbeat_period:
+            raise ValueError("peer_heartbeat_timeout must exceed peer_heartbeat_period")
+        if self.checkpoint_period <= 0:
+            raise ValueError("checkpoint_period must be positive")
+        if self.startup_retries < 0:
+            raise ValueError("startup_retries must be non-negative")
+        if self.checkpoint_history < 1:
+            raise ValueError("checkpoint_history must be at least 1")
+
+
+def replace_config(config: OfttConfig, **changes) -> OfttConfig:
+    """``dataclasses.replace`` wrapper that re-validates the result."""
+    updated = replace(config, **changes)
+    updated.validate()
+    return updated

@@ -1,0 +1,630 @@
+"""The OFTT Engine.
+
+"The OFTT engine is the core of the OFTT toolkit and controls all aspects
+of fault tolerance": role management, failure detection, recovery
+management, and status reporting (§2.2.1).  It "is implemented as a
+client-side COM server and runs as a separate process started by the
+application" — here it owns an :class:`~repro.nt.process.NTProcess` of
+its own, so the §4 demo (d) *middleware failure* is simply killing that
+process.
+
+Inter-engine protocol (port ``oftt.engine``): heartbeats carrying role
+and incarnation, role announcements, checkpoint transfer + ack, and the
+takeover handshake used for deliberate switchovers (``OFTTDistress``,
+recovery-rule escalation).
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Optional, Union
+
+from repro.com.interfaces import declare_interface
+from repro.com.object import ComObject
+from repro.core.appdriver import NodeContext, OfttApplication
+from repro.core.checkpoint import Checkpoint, CheckpointStore
+from repro.core.config import OfttConfig, RecoveryAction, RecoveryRule
+from repro.core.heartbeat import HeartbeatMonitor
+from repro.core.recovery import RecoveryManager
+from repro.core.roles import Role, RoleNegotiator
+from repro.core.status import ComponentKind, ComponentStatus, StatusReport
+from repro.core.watchdog import WatchdogTimer
+from repro.errors import OfttError, WatchdogError
+from repro.nt.process import NTProcess
+
+ENGINE_PORT = "oftt.engine"
+STATUS_PORT = "oftt.status"
+DIVERTER_PORT = "oftt.diverter"
+
+#: Monitor name used for the peer engine's heartbeat watch.
+PEER = "peer-engine"
+
+IENGINE = declare_interface(
+    "IOFTTEngine",
+    ("GetRole", "GetStatusTable", "RequestSwitchover", "GetCheckpointInfo"),
+)
+
+
+class _Component:
+    """Engine-side record of one monitored component."""
+
+    __slots__ = ("name", "kind", "process", "status")
+
+    def __init__(self, name: str, kind: ComponentKind, process: NTProcess) -> None:
+        self.name = name
+        self.kind = kind
+        self.process = process
+        self.status = ComponentStatus.RUNNING
+
+
+class OfttEngine(ComObject):
+    """One node's OFTT engine."""
+
+    IMPLEMENTS = (IENGINE,)
+    _takeover_ids = itertools.count(1)
+
+    def __init__(
+        self,
+        context: NodeContext,
+        peer_node: str,
+        application: Union[OfttApplication, List[OfttApplication], None] = None,
+        monitor_nodes: Optional[List[str]] = None,
+        subscriber_nodes: Optional[List[str]] = None,
+        preferred_primary: str = "",
+    ) -> None:
+        super().__init__()
+        self.context = context
+        self.config = context.config
+        self.kernel = context.kernel
+        self.trace = context.trace
+        self.node_name = context.node_name
+        self.peer_node = peer_node
+        if application is None:
+            app_list: List[OfttApplication] = []
+        elif isinstance(application, OfttApplication):
+            app_list = [application]
+        else:
+            app_list = list(application)
+        #: Managed applications by component name (launched when primary).
+        self.applications: Dict[str, OfttApplication] = {app.name: app for app in app_list}
+        self.monitor_nodes = list(monitor_nodes or [])
+        self.subscriber_nodes = list(subscriber_nodes or [])
+        context.engine = self
+
+        # The engine's own OS process ("runs as a separate process").
+        self.process = context.system.create_process("oftt-engine")
+        self.process.bind_port(ENGINE_PORT, self._on_engine_message)
+        self.process.on_exit.append(self._on_process_exit)
+        self.process.start()
+
+        self.negotiator = RoleNegotiator(
+            kernel=self.kernel,
+            node_name=self.node_name,
+            peer_name=peer_node,
+            config=self.config,
+            send=self._send_to_peer,
+            on_decided=self._on_role_decided,
+            on_shutdown=self._on_startup_shutdown,
+            on_demoted=self._on_demoted,
+            preferred_primary=preferred_primary,
+            trace=self.trace,
+        )
+        self.monitor = HeartbeatMonitor(self.kernel, self.config.heartbeat_period, self._on_heartbeat_failure)
+        self.recovery = RecoveryManager(self.kernel, self.config)
+        #: Checkpoints of the *local* application (for local restart).
+        self.local_store = CheckpointStore(self.config.checkpoint_history)
+        #: Checkpoints mirrored from the *peer's* application (for failover).
+        self.peer_store = CheckpointStore(self.config.checkpoint_history)
+        self.components: Dict[str, _Component] = {}
+        self.watchdogs: Dict[str, WatchdogTimer] = {}
+        self.acked_sequence = 0
+        self.peer_present = False
+        self.degraded = False
+        self.stopped = False
+        self.switchover_count = 0
+        self.local_restart_count = 0
+        self._pending_takeover: Optional[int] = None
+        self._dual_backup_streak = 0
+        #: Wire size of every checkpoint submitted (pre-merge, so
+        #: incremental deltas report their actual transfer cost).
+        self.checkpoint_sizes: List[int] = []
+        #: Waiters for peer acknowledgement of a sequence (durable saves).
+        self._ack_waiters: List = []  # (sequence, Event) pairs
+        self._stats = {"heartbeats_rx": 0, "checkpoints_tx": 0, "checkpoints_rx": 0, "acks_rx": 0}
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin operation: watch the peer, negotiate roles, report."""
+        self.monitor.watch(PEER, self.config.peer_heartbeat_timeout)
+        self.monitor.start()
+        self._peer_heartbeat_loop()
+        self._status_report_loop()
+        self.negotiator.begin()
+        self.trace.emit("engine", self.node_name, "engine-started")
+
+    @property
+    def alive(self) -> bool:
+        """Whether the engine process is still running."""
+        return not self.stopped and self.process.alive
+
+    @property
+    def role(self) -> Role:
+        """Current role of this node."""
+        return self.negotiator.role
+
+    @property
+    def application(self) -> Optional[OfttApplication]:
+        """The first managed application (convenience for single-app pairs)."""
+        for app in self.applications.values():
+            return app
+        return None
+
+    def _on_process_exit(self, _process: NTProcess) -> None:
+        # §4 demo (d): middleware failure.  Everything engine-driven stops.
+        self.stopped = True
+        self.monitor.stop()
+        for watchdog in self.watchdogs.values():
+            if not watchdog.deleted:
+                watchdog.delete()
+        self.trace.emit("engine", self.node_name, "engine-dead")
+
+    def shutdown(self) -> None:
+        """Orderly engine shutdown (stops the apps too)."""
+        self._stop_all_applications()
+        if self.process.alive:
+            self.process.exit(0)
+
+    def _stop_all_applications(self) -> None:
+        for app in self.applications.values():
+            if app.running:
+                record = self.components.get(app.name)
+                if record is not None:
+                    record.status = ComponentStatus.STOPPED
+                self.monitor.pause(app.name)
+                app.stop()
+
+    # -- component registration (called by FTIMs) ------------------------------------
+
+    def register_component(
+        self,
+        name: str,
+        kind: ComponentKind,
+        process: NTProcess,
+        rule: Optional[RecoveryRule] = None,
+    ) -> None:
+        """Start monitoring a component linked with an FTIM."""
+        if not self.alive:
+            raise OfttError(f"engine on {self.node_name} is not running")
+        self.components[name] = _Component(name, kind, process)
+        self.monitor.watch(name, self.config.heartbeat_timeout)
+        if rule is not None:
+            self.recovery.set_rule(name, rule)
+            self.config = self.recovery.config
+        if self.config.use_exit_hooks:
+            process.on_exit.append(lambda _p, n=name: self._on_component_exit(n))
+        self.trace.emit("engine", self.node_name, "component-registered", target=name, kind=kind.value)
+
+    def heartbeat_from(self, name: str) -> None:
+        """Receive a local component heartbeat (direct same-node call)."""
+        if not self.alive:
+            return
+        self._stats["heartbeats_rx"] += 1
+        self.monitor.beat(name)
+
+    def set_recovery_rule(self, component: str, rule: RecoveryRule) -> None:
+        """Dynamic recovery-rule change (§2.2.1 run-time option)."""
+        self.recovery.set_rule(component, rule)
+        self.config = self.recovery.config
+
+    # -- watchdog management (OFTTWatchdog*) ---------------------------------------------
+
+    def watchdog_create(self, name: str, owner: str) -> WatchdogTimer:
+        """Create a reliable watchdog owned by component *owner*."""
+        if name in self.watchdogs and not self.watchdogs[name].deleted:
+            raise WatchdogError(f"watchdog {name} already exists")
+        watchdog = WatchdogTimer(self.kernel, name, owner, self._on_watchdog_expired)
+        self.watchdogs[name] = watchdog
+        return watchdog
+
+    def _on_watchdog_expired(self, watchdog: WatchdogTimer) -> None:
+        if not self.alive:
+            return
+        self.trace.emit("engine", self.node_name, "watchdog-expired", watchdog=watchdog.name, owner=watchdog.owner)
+        self._handle_component_failure(watchdog.owner, f"watchdog {watchdog.name} expired")
+
+    # -- checkpoints ----------------------------------------------------------------------
+
+    def submit_checkpoint(self, checkpoint: Checkpoint) -> None:
+        """FTIM hands over a fresh checkpoint: keep locally, mirror to peer."""
+        if not self.alive:
+            return
+        self.checkpoint_sizes.append(checkpoint.size_bytes())
+        self.local_store.store(checkpoint)
+        self._stats["checkpoints_tx"] += 1
+        self._send_to_peer({"kind": "ckpt", "data": checkpoint.as_wire()})
+
+    def latest_local_image(self, app_name: str) -> Optional[Dict[str, Any]]:
+        """Image for a local restart (None if never checkpointed)."""
+        checkpoint = self.local_store.latest(app_name)
+        return checkpoint.image if checkpoint is not None else None
+
+    def latest_peer_image(self, app_name: str) -> Optional[Dict[str, Any]]:
+        """Image for a failover takeover (None if never received)."""
+        checkpoint = self.peer_store.latest(app_name)
+        return checkpoint.image if checkpoint is not None else None
+
+    # -- failure handling ----------------------------------------------------------------
+
+    def _on_heartbeat_failure(self, component: str, silence: float) -> None:
+        if not self.alive:
+            return
+        if component == PEER:
+            self._on_peer_lost(silence)
+        else:
+            self.trace.emit(
+                "engine", self.node_name, "heartbeat-timeout", target=component, silence=round(silence, 3)
+            )
+            self._handle_component_failure(component, f"heartbeat silence {silence:.0f}ms")
+
+    def _on_component_exit(self, component: str) -> None:
+        if not self.alive:
+            return
+        record = self.components.get(component)
+        if record is not None and record.status in (ComponentStatus.RECOVERING, ComponentStatus.STOPPED):
+            return  # deliberate stop or restart in progress
+        self.trace.emit("engine", self.node_name, "component-exit", target=component)
+        self._handle_component_failure(component, "process exit")
+
+    def _handle_component_failure(self, component: str, reason: str) -> None:
+        record = self.components.get(component)
+        if record is None:
+            return
+        if record.status in (ComponentStatus.FAILED, ComponentStatus.RECOVERING, ComponentStatus.STOPPED):
+            return  # already being handled
+        record.status = ComponentStatus.FAILED
+        self._report_now(component)
+        decision = self.recovery.on_failure(component, reason)
+        self.trace.emit(
+            "engine",
+            self.node_name,
+            "recovery-decision",
+            target=component,
+            action=decision.action.value,
+            reason=decision.reason,
+        )
+        if decision.action is RecoveryAction.LOCAL_RESTART:
+            record.status = ComponentStatus.RECOVERING
+            self.monitor.pause(component)
+            self.kernel.schedule(decision.delay, self._local_restart, component)
+        elif decision.action is RecoveryAction.FAILOVER:
+            self._initiate_switchover(f"{component}: {decision.reason}")
+        else:
+            self._report_now(component)
+
+    def _local_restart(self, component: str) -> None:
+        app = self.applications.get(component)
+        if not self.alive or app is None:
+            return
+        if self.role is not Role.PRIMARY:
+            return  # role changed while the restart was queued
+        self.local_restart_count += 1
+        image = self.latest_local_image(component)
+        self.trace.emit(
+            "engine", self.node_name, "local-restart", target=component, with_checkpoint=image is not None
+        )
+        app.stop()
+        app.launch(image)
+        record = self.components.get(component)
+        if record is not None:
+            record.status = ComponentStatus.RUNNING
+        self.monitor.resume(component)
+        self._report_now(component)
+
+    # -- switchover (deliberate handoff) ----------------------------------------------------
+
+    def request_switchover(self, reason: str) -> None:
+        """OFTTDistress entry point: hand control to the peer if possible."""
+        if not self.alive:
+            return
+        if self.role is not Role.PRIMARY:
+            raise OfttError(f"{self.node_name}: switchover requested while {self.role.value}")
+        self._initiate_switchover(reason)
+
+    def _initiate_switchover(self, reason: str) -> None:
+        if self.role is not Role.PRIMARY:
+            return
+        if not self.peer_present:
+            # "if application on the peer node is functional" — it is not;
+            # the best we can do is keep trying locally.
+            self.trace.emit("engine", self.node_name, "switchover-impossible", reason=reason)
+            for app in self.applications.values():
+                if not app.running:
+                    self.kernel.schedule(self.config.default_rule.restart_delay, self._forced_local_restart, app.name)
+            return
+        self.switchover_count += 1
+        takeover_id = next(self._takeover_ids)
+        self._pending_takeover = takeover_id
+        self.trace.emit("engine", self.node_name, "switchover-initiated", reason=reason, takeover_id=takeover_id)
+        # Stop the local copies FIRST (single-primary safety), then hand off.
+        self._stop_all_applications()
+        self.negotiator.demote()
+        self._send_to_peer({"kind": "takeover", "takeover_id": takeover_id, "reason": reason})
+        # If the peer never acks, our peer-loss detection will promote us
+        # right back — the self-healing loop closes itself.
+
+    def _forced_local_restart(self, component: str) -> None:
+        app = self.applications.get(component)
+        if not self.alive or app is None or self.role is not Role.PRIMARY:
+            return
+        if app.running:
+            return
+        self.local_restart_count += 1
+        app.launch(self.latest_local_image(component))
+        record = self.components.get(component)
+        if record is not None:
+            record.status = ComponentStatus.RUNNING
+        self.monitor.resume(component)
+
+    # -- peer handling -----------------------------------------------------------------------
+
+    def _on_peer_lost(self, silence: float) -> None:
+        self.peer_present = False
+        self.trace.emit("engine", self.node_name, "peer-lost", silence=round(silence, 3), role=self.role.value)
+        if self.role is Role.BACKUP:
+            self._promote("peer heartbeat loss")
+        elif self.role is Role.PRIMARY:
+            self.degraded = True
+            self._report_now(PEER)
+
+    def _promote(self, reason: str) -> None:
+        self.negotiator.promote()
+        self.trace.emit("engine", self.node_name, "takeover", reason=reason)
+        self._start_application_as_primary()
+        self._broadcast_role_change()
+
+    def _start_application_as_primary(self) -> None:
+        for name, app in self.applications.items():
+            if app.running:
+                continue
+            image = self.latest_peer_image(name)
+            if image is None:
+                # Maybe we were primary before and have local history.
+                image = self.latest_local_image(name)
+            app.launch(image)
+            record = self.components.get(name)
+            if record is not None:
+                record.status = ComponentStatus.RUNNING
+            self.monitor.resume(name)
+            self.recovery.clear(name)
+
+    def _on_role_decided(self, role: Role) -> None:
+        if role is Role.PRIMARY:
+            self._start_application_as_primary()
+        self._broadcast_role_change()
+        self._report_now("oftt-engine")
+
+    def _on_startup_shutdown(self) -> None:
+        # The original §3.2 behaviour: give up and power down the stack.
+        self.trace.emit("engine", self.node_name, "startup-giving-up")
+        self.shutdown()
+
+    def _on_demoted(self) -> None:
+        # Lost a dual-primary resolution: stop our copies immediately.
+        self._stop_all_applications()
+        self._broadcast_role_change()
+
+    # -- wire protocol ------------------------------------------------------------------------
+
+    def _send_to_peer(self, payload: Dict[str, Any]) -> None:
+        if not self.process.alive:
+            return
+        self.context.system.node.send(self.peer_node, ENGINE_PORT, payload, size=128)
+
+    def _peer_heartbeat_loop(self) -> None:
+        if not self.alive:
+            return
+        self._send_to_peer(
+            {
+                "kind": "hb",
+                "node": self.node_name,
+                "role": self.role.value,
+                "incarnation": self.negotiator.incarnation,
+            }
+        )
+        self.kernel.schedule(self.config.peer_heartbeat_period, self._peer_heartbeat_loop)
+
+    def _on_engine_message(self, message) -> None:
+        if not self.alive:
+            return
+        payload = message.payload
+        kind = payload.get("kind")
+        if kind == "hb":
+            self._on_peer_heartbeat(payload)
+        elif kind == "role-announce":
+            self.negotiator.on_peer_announce(payload)
+        elif kind == "ckpt":
+            self._on_checkpoint(payload)
+        elif kind == "ckpt-ack":
+            self._on_checkpoint_ack(payload)
+        elif kind == "takeover":
+            self._on_takeover_request(payload)
+
+    def _on_peer_heartbeat(self, payload: Dict[str, Any]) -> None:
+        was_present = self.peer_present
+        self.peer_present = True
+        self.monitor.beat(PEER)
+        if self.degraded:
+            self.degraded = False
+            self.trace.emit("engine", self.node_name, "peer-returned")
+        peer_role = Role(payload["role"])
+        if not was_present or peer_role is Role.PRIMARY:
+            # Role-carrying heartbeats double as announcements.
+            self.negotiator.on_peer_announce(payload)
+        self._check_dual_backup(peer_role)
+
+    def _check_dual_backup(self, peer_role: Role) -> None:
+        # A lost takeover message (or crossed demotions) can leave both
+        # nodes BACKUP with nobody running the application.  If the
+        # condition persists across several peer heartbeats, the
+        # deterministic tie-break winner promotes itself.
+        if self.role is Role.BACKUP and peer_role is Role.BACKUP and self.negotiator.decided_at is not None:
+            self._dual_backup_streak += 1
+            if self._dual_backup_streak >= 3 and self.negotiator._wins_tiebreak():
+                self._dual_backup_streak = 0
+                self.trace.emit("engine", self.node_name, "dual-backup-resolved")
+                self._promote("dual-backup resolution")
+        else:
+            self._dual_backup_streak = 0
+
+    def _on_checkpoint(self, payload: Dict[str, Any]) -> None:
+        checkpoint = Checkpoint.from_wire(payload["data"])
+        stored = self.peer_store.store(checkpoint)
+        self._stats["checkpoints_rx"] += 1
+        if stored:
+            self._send_to_peer({"kind": "ckpt-ack", "app": checkpoint.app_name, "sequence": checkpoint.sequence})
+
+    def _on_checkpoint_ack(self, payload: Dict[str, Any]) -> None:
+        self._stats["acks_rx"] += 1
+        self.acked_sequence = max(self.acked_sequence, payload["sequence"])
+        still_waiting = []
+        for sequence, event in self._ack_waiters:
+            if sequence <= self.acked_sequence:
+                if not event.fired:
+                    event.succeed(True)
+            else:
+                still_waiting.append((sequence, event))
+        self._ack_waiters = still_waiting
+
+    def ack_event_for(self, sequence: int, timeout: Optional[float] = None):
+        """A waitable that fires True once the peer acks *sequence*.
+
+        Fires False after *timeout* (default: the configured checkpoint
+        ack timeout) — e.g. when no backup is present.  Used by the
+        durable-save API so applications can make state changes
+        *provably* replicated before proceeding.
+        """
+        from repro.simnet.events import Event
+
+        event = Event(name=f"ckpt-ack:{sequence}")
+        if sequence <= self.acked_sequence:
+            event.succeed(True)
+            return event
+        self._ack_waiters.append((sequence, event))
+        deadline = timeout if timeout is not None else self.config.checkpoint_ack_timeout
+
+        def give_up() -> None:
+            if not event.fired:
+                self._ack_waiters = [(s, e) for s, e in self._ack_waiters if e is not event]
+                event.succeed(False)
+
+        self.kernel.schedule(deadline, give_up)
+        return event
+
+    def _on_takeover_request(self, payload: Dict[str, Any]) -> None:
+        self.trace.emit("engine", self.node_name, "takeover-request", reason=payload.get("reason", ""))
+        if self.role is Role.BACKUP:
+            self._promote(f"takeover request: {payload.get('reason', '')}")
+        elif self.role is Role.PRIMARY:
+            # Already primary (e.g. raced with peer-loss promotion): fine.
+            self._broadcast_role_change()
+
+    # -- status reporting ------------------------------------------------------------------------
+
+    def _status_report_loop(self) -> None:
+        if not self.alive:
+            return
+        for report in self.status_reports():
+            self._send_report(report)
+        # Re-broadcast the role periodically as well: diverter clients
+        # that missed a role-change notice (boot races, lossy links)
+        # relearn the primary within one report period.
+        if self.role is Role.PRIMARY:
+            self._broadcast_role_change()
+        self.kernel.schedule(self.config.status_report_period, self._status_report_loop)
+
+    def status_reports(self) -> List[StatusReport]:
+        """Current status of everything this engine monitors."""
+        reports = [
+            StatusReport(
+                node=self.node_name,
+                component="oftt-engine",
+                kind=ComponentKind.OFTT_ENGINE,
+                status=ComponentStatus.RUNNING if self.alive else ComponentStatus.FAILED,
+                role=self.role.value,
+                time=self.kernel.now,
+                detail={"incarnation": self.negotiator.incarnation, "degraded": self.degraded},
+            ),
+            StatusReport(
+                node=self.node_name,
+                component="peer-link",
+                kind=ComponentKind.HARDWARE,
+                status=ComponentStatus.RUNNING if self.peer_present else ComponentStatus.FAILED,
+                time=self.kernel.now,
+                detail={"peer": self.peer_node},
+            ),
+        ]
+        for component in sorted(self.components):
+            record = self.components[component]
+            reports.append(
+                StatusReport(
+                    node=self.node_name,
+                    component=component,
+                    kind=record.kind,
+                    status=record.status,
+                    role=self.role.value,
+                    time=self.kernel.now,
+                )
+            )
+        return reports
+
+    def _report_now(self, component: str) -> None:
+        for report in self.status_reports():
+            if report.component == component:
+                self._send_report(report)
+
+    def _send_report(self, report: StatusReport) -> None:
+        for monitor_node in self.monitor_nodes:
+            self.context.system.node.send(monitor_node, STATUS_PORT, report.as_wire(), size=96)
+
+    def _broadcast_role_change(self) -> None:
+        notice = {
+            "kind": "role-change",
+            "node": self.node_name,
+            "peer": self.peer_node,
+            "role": self.role.value,
+            "incarnation": self.negotiator.incarnation,
+            "time": self.kernel.now,
+        }
+        for subscriber in self.subscriber_nodes:
+            self.context.system.node.send(subscriber, DIVERTER_PORT, notice, size=64)
+
+    # -- COM surface --------------------------------------------------------------------------------
+
+    def GetRole(self) -> str:
+        """IOFTTEngine::GetRole."""
+        return self.role.value
+
+    def GetStatusTable(self) -> List[dict]:
+        """IOFTTEngine::GetStatusTable."""
+        return [report.as_wire() for report in self.status_reports()]
+
+    def RequestSwitchover(self, reason: str) -> None:
+        """IOFTTEngine::RequestSwitchover (remote-callable distress)."""
+        self.request_switchover(reason)
+
+    def GetCheckpointInfo(self) -> dict:
+        """IOFTTEngine::GetCheckpointInfo."""
+        app = self.application.name if self.application is not None else ""
+        return {
+            "acked_sequence": self.acked_sequence,
+            "local_latest": self.local_store.latest_sequence(app) if app else 0,
+            "peer_latest": self.peer_store.latest_sequence(app) if app else 0,
+        }
+
+    def stats(self) -> Dict[str, int]:
+        """Engine counters (for benches and the monitor)."""
+        return dict(self._stats)
+
+    def __repr__(self) -> str:
+        return f"OfttEngine({self.node_name}, {self.role.value}, alive={self.alive})"

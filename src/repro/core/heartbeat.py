@@ -1,0 +1,132 @@
+"""Heartbeat-based failure detection.
+
+"[The engine] monitors the status of all software components that are
+linked with the fault tolerance interface module on the same node and the
+status of the peer node by checking the heartbeat messages from each
+monitored component.  If it does not receive the message after the
+pre-specified timeout, it considers the component fails and initiates a
+recovery provision" (§2.2.1).
+
+:class:`HeartbeatMonitor` is the engine-side half: components (or the
+peer engine) register, somebody calls :meth:`beat` on every received
+heartbeat, and a periodic sweep declares anything silent past its timeout
+failed exactly once (until it beats again).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.simnet.kernel import SimKernel
+
+# callback(component_name, silence_duration)
+FailureCallback = Callable[[str, float], None]
+
+
+@dataclass
+class _Watch:
+    """Book-keeping for one monitored component."""
+
+    timeout: float
+    last_beat: float
+    suspected: bool = False
+    beats_received: int = 0
+    enabled: bool = True
+
+
+class HeartbeatMonitor:
+    """Sweeps registered components for heartbeat silence."""
+
+    def __init__(self, kernel: SimKernel, sweep_period: float, on_failure: FailureCallback) -> None:
+        self.kernel = kernel
+        self.sweep_period = sweep_period
+        self.on_failure = on_failure
+        self._watches: Dict[str, _Watch] = {}
+        self._running = False
+        self._timer = None
+
+    # -- registration -----------------------------------------------------------
+
+    def watch(self, component: str, timeout: float) -> None:
+        """Start monitoring *component*; its clock starts now."""
+        self._watches[component] = _Watch(timeout=timeout, last_beat=self.kernel.now)
+
+    def unwatch(self, component: str) -> None:
+        """Stop monitoring (idempotent)."""
+        self._watches.pop(component, None)
+
+    def pause(self, component: str) -> None:
+        """Keep the watch but suppress failure detection (e.g. during a
+        deliberate restart, so the gap is not reported as a failure)."""
+        watch = self._watches.get(component)
+        if watch is not None:
+            watch.enabled = False
+
+    def resume(self, component: str) -> None:
+        """Re-enable detection; the silence clock restarts now."""
+        watch = self._watches.get(component)
+        if watch is not None:
+            watch.enabled = True
+            watch.last_beat = self.kernel.now
+            watch.suspected = False
+
+    def watched(self) -> List[str]:
+        """Names currently monitored, sorted."""
+        return sorted(self._watches)
+
+    # -- beats -------------------------------------------------------------------
+
+    def beat(self, component: str) -> None:
+        """Record a heartbeat.  A beat from a suspected component clears
+        the suspicion (it will be re-reported if it goes silent again)."""
+        watch = self._watches.get(component)
+        if watch is None:
+            return
+        watch.last_beat = self.kernel.now
+        watch.beats_received += 1
+        watch.suspected = False
+
+    def silence(self, component: str) -> Optional[float]:
+        """How long *component* has been silent (None if unknown)."""
+        watch = self._watches.get(component)
+        if watch is None:
+            return None
+        return self.kernel.now - watch.last_beat
+
+    def is_suspected(self, component: str) -> bool:
+        """Whether the component is currently declared failed."""
+        watch = self._watches.get(component)
+        return watch.suspected if watch is not None else False
+
+    # -- sweep loop ----------------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin periodic sweeps."""
+        if self._running:
+            return
+        self._running = True
+        self._timer = self.kernel.schedule(self.sweep_period, self._sweep)
+
+    def stop(self) -> None:
+        """Halt sweeps (the engine is shutting down or died)."""
+        self._running = False
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+
+    def _sweep(self) -> None:
+        if not self._running:
+            return
+        now = self.kernel.now
+        for component, watch in list(self._watches.items()):
+            if not watch.enabled or watch.suspected:
+                continue
+            silence = now - watch.last_beat
+            if silence > watch.timeout:
+                watch.suspected = True
+                self.on_failure(component, silence)
+        self._timer = self.kernel.schedule(self.sweep_period, self._sweep)
+
+    def __repr__(self) -> str:
+        return f"HeartbeatMonitor(watching={self.watched()}, running={self._running})"

@@ -1,0 +1,112 @@
+"""The System Monitor (§2.2.4).
+
+"The System Monitor displays the status of the components in a process
+monitoring and control system including hardware, operating system, OFTT
+components, and applications.  Although necessary for system test,
+evaluation, and maintenance purposes, it does not need to be present for
+the operation of the OFTT fault tolerance provisions."
+
+It listens on the status port for the engines' periodic
+:class:`~repro.core.status.StatusReport` streams and keeps the latest
+state per (node, component) plus a bounded history, with a plain-text
+``render()`` standing in for the GUI.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.engine import STATUS_PORT
+from repro.core.status import ComponentStatus, StatusReport
+from repro.simnet.kernel import SimKernel
+from repro.simnet.network import Message, NetNode
+
+
+class SystemMonitor:
+    """Status collector + display for one OFTT installation."""
+
+    def __init__(self, kernel: SimKernel, node: NetNode, history_limit: int = 10_000) -> None:
+        self.kernel = kernel
+        self.node = node
+        self.history_limit = history_limit
+        self.latest: Dict[Tuple[str, str], StatusReport] = {}
+        self.history: List[StatusReport] = []
+        self.reports_received = 0
+        self._subscribers: List[Callable[[StatusReport], None]] = []
+        node.bind(STATUS_PORT, self._on_report)
+
+    def _on_report(self, message: Message) -> None:
+        report = StatusReport.from_wire(message.payload)
+        self.reports_received += 1
+        self.latest[(report.node, report.component)] = report
+        self.history.append(report)
+        if len(self.history) > self.history_limit:
+            del self.history[: len(self.history) - self.history_limit]
+        for subscriber in self._subscribers:
+            subscriber(report)
+
+    def subscribe(self, callback: Callable[[StatusReport], None]) -> None:
+        """Live-stream every incoming report to *callback*."""
+        self._subscribers.append(callback)
+
+    # -- queries --------------------------------------------------------------------
+
+    def status_of(self, node: str, component: str) -> Optional[ComponentStatus]:
+        """Latest known status of one component (None if never seen)."""
+        report = self.latest.get((node, component))
+        return report.status if report is not None else None
+
+    def role_of(self, node: str) -> Optional[str]:
+        """Latest role reported by a node's engine."""
+        report = self.latest.get((node, "oftt-engine"))
+        return report.role if report is not None else None
+
+    def current_primary(self) -> Optional[str]:
+        """The node whose engine most recently reported PRIMARY."""
+        best: Optional[StatusReport] = None
+        for (node, component), report in self.latest.items():
+            if component == "oftt-engine" and report.role == "primary":
+                if best is None or report.time > best.time:
+                    best = report
+        return best.node if best is not None else None
+
+    def unhealthy(self) -> List[StatusReport]:
+        """Latest reports whose status is not healthy."""
+        return sorted(
+            (report for report in self.latest.values() if not report.status.is_healthy),
+            key=lambda report: (report.node, report.component),
+        )
+
+    def staleness(self, node: str, component: str) -> Optional[float]:
+        """Time since that component last reported."""
+        report = self.latest.get((node, component))
+        return self.kernel.now - report.time if report is not None else None
+
+    def transitions(self, node: str, component: str) -> List[Tuple[float, ComponentStatus]]:
+        """Status changes over time for one component."""
+        result: List[Tuple[float, ComponentStatus]] = []
+        for report in self.history:
+            if report.node == node and report.component == component:
+                if not result or result[-1][1] is not report.status:
+                    result.append((report.time, report.status))
+        return result
+
+    # -- display ---------------------------------------------------------------------
+
+    def render(self) -> str:
+        """Text rendering of the status table (the monitor's 'screen')."""
+        lines = [f"=== OFTT System Monitor @ t={self.kernel.now:.0f}ms ==="]
+        header = f"{'node':<14} {'component':<22} {'kind':<12} {'status':<12} {'role':<8} {'age(ms)':>8}"
+        lines.append(header)
+        lines.append("-" * len(header))
+        for (node, component) in sorted(self.latest):
+            report = self.latest[(node, component)]
+            age = self.kernel.now - report.time
+            lines.append(
+                f"{node:<14} {component:<22} {report.kind.value:<12} "
+                f"{report.status.value:<12} {report.role:<8} {age:>8.0f}"
+            )
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return f"SystemMonitor({self.node.name}, components={len(self.latest)}, reports={self.reports_received})"

@@ -1,0 +1,80 @@
+"""Component status model.
+
+The engine "reports and updates the status of each monitored component to
+the system monitor" (§2.2.1).  These are the records that flow.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any, Dict
+
+
+class ComponentKind(enum.Enum):
+    """What kind of thing a status report describes."""
+
+    HARDWARE = "hardware"
+    OPERATING_SYSTEM = "os"
+    OFTT_ENGINE = "engine"
+    APPLICATION = "application"
+    OPC_SERVER = "opc-server"
+    WATCHDOG = "watchdog"
+
+
+class ComponentStatus(enum.Enum):
+    """Health states a monitored component moves through."""
+
+    STARTING = "starting"
+    RUNNING = "running"
+    SUSPECTED = "suspected"
+    FAILED = "failed"
+    RECOVERING = "recovering"
+    STOPPED = "stopped"
+
+    @property
+    def is_healthy(self) -> bool:
+        """RUNNING or on its way there."""
+        return self in (ComponentStatus.STARTING, ComponentStatus.RUNNING, ComponentStatus.RECOVERING)
+
+
+@dataclass(frozen=True)
+class StatusReport:
+    """One status update about one component."""
+
+    node: str
+    component: str
+    kind: ComponentKind
+    status: ComponentStatus
+    role: str = ""
+    time: float = 0.0
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_wire(self) -> dict:
+        """Marshalable form for the monitor link."""
+        return {
+            "node": self.node,
+            "component": self.component,
+            "kind": self.kind.value,
+            "status": self.status.value,
+            "role": self.role,
+            "time": self.time,
+            "detail": dict(self.detail),
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "StatusReport":
+        """Inverse of :meth:`as_wire`."""
+        return cls(
+            node=data["node"],
+            component=data["component"],
+            kind=ComponentKind(data["kind"]),
+            status=ComponentStatus(data["status"]),
+            role=data["role"],
+            time=data["time"],
+            detail=dict(data["detail"]),
+        )
+
+    def __str__(self) -> str:
+        role = f" [{self.role}]" if self.role else ""
+        return f"{self.node}/{self.component}{role}: {self.status.value}"

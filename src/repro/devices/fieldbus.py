@@ -1,0 +1,92 @@
+"""The industrial automation network segment (Devicenet/Fieldbus).
+
+The fieldbus connects a PLC to its field devices.  It is modelled simply:
+a registry of devices plus an up/down state — when the bus is down every
+read/write raises, which the PLC turns into BAD-quality points, which the
+OPC server then reports to clients.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.devices.device import Actuator, Device, Sensor, Valve
+
+
+class Fieldbus:
+    """A fieldbus segment with attached devices."""
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.up = True
+        self.devices: Dict[str, Device] = {}
+        self.read_count = 0
+        self.write_count = 0
+
+    def attach(self, device: Device) -> None:
+        """Put a device on the bus (names must be unique)."""
+        if device.name in self.devices:
+            raise ValueError(f"device {device.name} already on {self.name}")
+        self.devices[device.name] = device
+
+    def device(self, name: str) -> Device:
+        """Look up a device."""
+        if name not in self.devices:
+            raise KeyError(f"no device {name} on {self.name}")
+        return self.devices[name]
+
+    def sensors(self) -> List[Sensor]:
+        """All attached sensors, sorted by name."""
+        return sorted(
+            (device for device in self.devices.values() if isinstance(device, Sensor)),
+            key=lambda device: device.name,
+        )
+
+    def actuators(self) -> List[Actuator]:
+        """All attached actuators, sorted by name."""
+        return sorted(
+            (device for device in self.devices.values() if isinstance(device, Actuator)),
+            key=lambda device: device.name,
+        )
+
+    def read_sensor(self, name: str, time: float, rng) -> float:
+        """Read through the bus (raises when the bus is down)."""
+        if not self.up:
+            raise IOError(f"fieldbus {self.name} down")
+        self.read_count += 1
+        device = self.device(name)
+        if not isinstance(device, Sensor):
+            raise TypeError(f"{name} is not a sensor")
+        return device.read(time, rng)
+
+    def write_actuator(self, name: str, value: float) -> None:
+        """Write through the bus (raises when the bus is down)."""
+        if not self.up:
+            raise IOError(f"fieldbus {self.name} down")
+        self.write_count += 1
+        device = self.device(name)
+        if not isinstance(device, Actuator):
+            raise TypeError(f"{name} is not an actuator")
+        device.write(value)
+
+    def command_valve(self, name: str, open_valve: bool, time: float) -> None:
+        """Command a valve through the bus."""
+        if not self.up:
+            raise IOError(f"fieldbus {self.name} down")
+        self.write_count += 1
+        device = self.device(name)
+        if not isinstance(device, Valve):
+            raise TypeError(f"{name} is not a valve")
+        device.command(open_valve, time)
+
+    def fail(self) -> None:
+        """Take the bus down (comm failure)."""
+        self.up = False
+
+    def repair(self) -> None:
+        """Bring the bus back."""
+        self.up = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"Fieldbus({self.name}, {state}, devices={len(self.devices)})"

@@ -1,0 +1,175 @@
+"""Programmable Logic Controller and the PLC→OPC bridge.
+
+"A PLC interfaces with various types of input/output devices (such as
+sensors, valves), reads inputs, processes data, and generates
+corresponding control outputs.  In the meantime, data are sent to the PC
+where they will be further processed" (§1).
+
+:class:`PLC` runs a classic scan loop on the simulation kernel: read the
+input image from the fieldbus, run user logic, write the output image.
+:class:`PlcOpcBridge` is the "device driver" inside an OPC server: it
+polls the PLC's IO image and pushes values (with quality) into the
+server's namespace.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from repro.devices.fieldbus import Fieldbus
+from repro.opc.server import OpcServer
+from repro.opc.types import Quality
+from repro.simnet.events import Timeout
+from repro.simnet.kernel import Process, SimKernel
+
+# User logic: fn(inputs, outputs, time) mutates the outputs dict.
+ScanLogic = Callable[[Dict[str, float], Dict[str, float], float], None]
+
+
+class PLC:
+    """A scan-loop PLC."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        name: str,
+        fieldbus: Fieldbus,
+        rng,
+        scan_period: float = 50.0,
+    ) -> None:
+        self.kernel = kernel
+        self.name = name
+        self.fieldbus = fieldbus
+        self.rng = rng
+        self.scan_period = scan_period
+        self.inputs: Dict[str, float] = {}
+        self.input_quality: Dict[str, Quality] = {}
+        self.outputs: Dict[str, float] = {}
+        self.logic: List[ScanLogic] = []
+        self.running = False
+        self.scan_count = 0
+        self._process: Optional[Process] = None
+
+    def add_logic(self, logic: ScanLogic) -> None:
+        """Append a rung of user logic to the scan."""
+        self.logic.append(logic)
+
+    def map_output(self, point: str, initial: float = 0.0) -> None:
+        """Declare an output point (named after its actuator)."""
+        self.outputs[point] = initial
+
+    # -- scan loop -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Begin scanning."""
+        if self.running:
+            return
+        self.running = True
+        self._process = self.kernel.spawn(self._scan_loop(), name=f"plc:{self.name}")
+
+    def stop(self) -> None:
+        """Halt scanning (PLC fault or shutdown)."""
+        self.running = False
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def _scan_loop(self):
+        while self.running:
+            self.scan_once()
+            yield Timeout(self.scan_period)
+
+    def scan_once(self) -> None:
+        """One full input-logic-output scan."""
+        now = self.kernel.now
+        # Input scan.
+        for sensor in self.fieldbus.sensors():
+            try:
+                self.inputs[sensor.name] = self.fieldbus.read_sensor(sensor.name, now, self.rng)
+                self.input_quality[sensor.name] = Quality.GOOD
+            except IOError:
+                self.input_quality[sensor.name] = Quality.BAD_DEVICE_FAILURE
+        # Logic.
+        for rung in self.logic:
+            rung(self.inputs, self.outputs, now)
+        # Output scan.
+        for actuator in self.fieldbus.actuators():
+            if actuator.name in self.outputs:
+                try:
+                    self.fieldbus.write_actuator(actuator.name, self.outputs[actuator.name])
+                except IOError:
+                    pass  # surfaced via input quality on the next scan
+        self.scan_count += 1
+
+    def __repr__(self) -> str:
+        state = "running" if self.running else "stopped"
+        return f"PLC({self.name}, {state}, scans={self.scan_count})"
+
+
+class PlcOpcBridge:
+    """Feeds a PLC's IO image into an OPC server's namespace.
+
+    Items are named ``<plc>.<point>``; input quality flows through.  This
+    is the "device interface" role of the OPC Server App in Figure 2.
+    """
+
+    def __init__(self, kernel: SimKernel, plc: PLC, server: OpcServer, poll_period: float = 100.0) -> None:
+        self.kernel = kernel
+        self.plc = plc
+        self.server = server
+        self.poll_period = poll_period
+        self.running = False
+        self.poll_count = 0
+        self._process: Optional[Process] = None
+        self._defined: set = set()
+
+    def item_id(self, point: str) -> str:
+        """OPC item id for a PLC point."""
+        return f"{self.plc.name}.{point}"
+
+    def start(self) -> None:
+        """Begin polling the PLC image."""
+        if self.running:
+            return
+        self.running = True
+        self._process = self.kernel.spawn(self._poll_loop(), name=f"bridge:{self.plc.name}")
+
+    def stop(self) -> None:
+        """Stop polling."""
+        self.running = False
+        if self._process is not None:
+            self._process.kill()
+            self._process = None
+
+    def _poll_loop(self):
+        while self.running:
+            self.poll_once()
+            yield Timeout(self.poll_period)
+
+    def poll_once(self) -> None:
+        """Copy the current IO image into the OPC namespace."""
+        for point, value in sorted(self.plc.inputs.items()):
+            quality = self.plc.input_quality.get(point, Quality.GOOD)
+            self._publish(self.item_id(point), float(value), quality, writable=False)
+        for point, value in sorted(self.plc.outputs.items()):
+            self._publish(self.item_id(point), float(value), Quality.GOOD, writable=True)
+        self.poll_count += 1
+
+    def _publish(self, item_id: str, value: float, quality: Quality, writable: bool) -> None:
+        if item_id not in self._defined:
+            if not self.server.namespace.exists(item_id):
+                access = "read_write" if writable else "read"
+                self.server.namespace.define_simple(item_id, value, access=access)
+                if writable:
+                    # Operator writes land in the PLC output image (user
+                    # logic may override them on the next scan, as on a
+                    # real PLC).
+                    point = item_id[len(self.plc.name) + 1:]
+                    self.server.namespace.on_write(
+                        item_id, lambda _item, v, p=point: self.plc.outputs.__setitem__(p, float(v))
+                    )
+            self._defined.add(item_id)
+        self.server.update_item(item_id, value, quality)
+
+    def __repr__(self) -> str:
+        return f"PlcOpcBridge({self.plc.name} -> {self.server.name}, polls={self.poll_count})"

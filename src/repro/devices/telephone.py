@@ -1,0 +1,171 @@
+"""The §4 demo workload: a simulated small-office telephone system.
+
+"The application keeps track of the usage of a simulated small office
+telephone system that consists of 5 telephone lines and 10 callers.
+Numbers of busy lines are displayed in the histogram."
+
+:class:`TelephoneSystem` runs the callers as simulation processes: each
+caller alternates idle periods and call attempts; an attempt seizes a free
+line for an exponential call duration, or is *blocked* when all lines are
+busy (an Erlang-B loss system).  Every start/end/blocked event is handed
+to registered listeners — in the demo configuration the listener forwards
+events through the Message Diverter to the Call Track application.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.simnet.events import Timeout
+from repro.simnet.kernel import Process, SimKernel
+
+
+@dataclass(frozen=True)
+class CallEvent:
+    """One telephone-system event."""
+
+    kind: str  # "start" | "end" | "blocked"
+    caller: int
+    line: int  # -1 for blocked attempts
+    time: float
+    busy_lines: int  # busy count *after* the event
+    sequence: int
+
+    def as_wire(self) -> dict:
+        """Marshalable form for queueing to the Call Track app."""
+        return {
+            "kind": self.kind,
+            "caller": self.caller,
+            "line": self.line,
+            "time": self.time,
+            "busy_lines": self.busy_lines,
+            "sequence": self.sequence,
+        }
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "CallEvent":
+        """Inverse of :meth:`as_wire`."""
+        return cls(
+            kind=data["kind"],
+            caller=data["caller"],
+            line=data["line"],
+            time=data["time"],
+            busy_lines=data["busy_lines"],
+            sequence=data["sequence"],
+        )
+
+
+class TelephoneSystem:
+    """The 5-line / 10-caller simulator (both counts configurable)."""
+
+    def __init__(
+        self,
+        kernel: SimKernel,
+        rng,
+        lines: int = 5,
+        callers: int = 10,
+        mean_idle: float = 8_000.0,
+        mean_call: float = 4_000.0,
+    ) -> None:
+        self.kernel = kernel
+        self.rng = rng
+        self.line_count = lines
+        self.caller_count = callers
+        self.mean_idle = mean_idle
+        self.mean_call = mean_call
+        self.line_busy: List[bool] = [False] * lines
+        self.listeners: List[Callable[[CallEvent], None]] = []
+        self.events: List[CallEvent] = []
+        self.running = False
+        self.blocked_count = 0
+        self.completed_count = 0
+        self._sequence = itertools.count(1)
+        self._processes: List[Process] = []
+
+    # -- wiring ------------------------------------------------------------
+
+    def add_listener(self, listener: Callable[[CallEvent], None]) -> None:
+        """Receive every event as it happens."""
+        self.listeners.append(listener)
+
+    @property
+    def busy_lines(self) -> int:
+        """Number of currently busy lines."""
+        return sum(self.line_busy)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start all caller processes."""
+        if self.running:
+            return
+        self.running = True
+        for caller in range(self.caller_count):
+            process = self.kernel.spawn(self._caller_loop(caller), name=f"caller:{caller}")
+            self._processes.append(process)
+
+    def stop(self) -> None:
+        """Stop the simulator (lines are freed)."""
+        self.running = False
+        for process in self._processes:
+            process.kill()
+        self._processes.clear()
+        self.line_busy = [False] * self.line_count
+
+    # -- caller behaviour --------------------------------------------------------
+
+    def _caller_loop(self, caller: int):
+        while self.running:
+            yield Timeout(self.rng.expovariate(1.0 / self.mean_idle))
+            if not self.running:
+                return
+            line = self._seize_line()
+            if line is None:
+                self.blocked_count += 1
+                self._emit("blocked", caller, -1)
+                continue
+            self._emit("start", caller, line)
+            yield Timeout(self.rng.expovariate(1.0 / self.mean_call))
+            self._release_line(line)
+            self.completed_count += 1
+            self._emit("end", caller, line)
+
+    def _seize_line(self) -> Optional[int]:
+        for line, busy in enumerate(self.line_busy):
+            if not busy:
+                self.line_busy[line] = True
+                return line
+        return None
+
+    def _release_line(self, line: int) -> None:
+        self.line_busy[line] = False
+
+    def _emit(self, kind: str, caller: int, line: int) -> None:
+        event = CallEvent(
+            kind=kind,
+            caller=caller,
+            line=line,
+            time=self.kernel.now,
+            busy_lines=self.busy_lines,
+            sequence=next(self._sequence),
+        )
+        self.events.append(event)
+        for listener in self.listeners:
+            listener(event)
+
+    # -- reference statistics (ground truth for recovery checks) -----------------
+
+    def busy_histogram(self) -> Dict[int, int]:
+        """Distribution of busy-line counts over emitted events."""
+        histogram: Dict[int, int] = {k: 0 for k in range(self.line_count + 1)}
+        for event in self.events:
+            histogram[event.busy_lines] += 1
+        return histogram
+
+    def __repr__(self) -> str:
+        return (
+            f"TelephoneSystem(lines={self.line_count}, callers={self.caller_count}, "
+            f"busy={self.busy_lines}, events={len(self.events)})"
+        )

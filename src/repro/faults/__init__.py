@@ -1,0 +1,48 @@
+"""Fault injection.
+
+§4 of the paper demonstrates continued operation under four failures:
+(a) node failure, (b) NT crash (blue screen of death), (c) application
+software failure, (d) OFTT middleware failure.  The original authors
+pulled plugs and killed processes by hand; here the same faults (plus
+hangs, transient crashes, network partitions, NIC and fieldbus failures,
+and reboots) are scripted, schedulable and repeatable.
+
+* :mod:`~repro.faults.faultlib` — the fault catalogue.
+* :class:`FaultInjector` — applies faults to a scenario environment.
+* :class:`Campaign` — a timed schedule of faults with outcome recording.
+"""
+
+from repro.faults.faultlib import (
+    AppCrash,
+    AppHang,
+    BlueScreen,
+    Fault,
+    FieldbusFailure,
+    LinkDown,
+    MiddlewareCrash,
+    NetworkPartition,
+    NicDown,
+    NodeFailure,
+    NodeReboot,
+    TransientAppCrash,
+)
+from repro.faults.injector import FaultInjector
+from repro.faults.campaign import Campaign, InjectionRecord
+
+__all__ = [
+    "AppCrash",
+    "AppHang",
+    "BlueScreen",
+    "Campaign",
+    "Fault",
+    "FaultInjector",
+    "FieldbusFailure",
+    "InjectionRecord",
+    "LinkDown",
+    "MiddlewareCrash",
+    "NetworkPartition",
+    "NicDown",
+    "NodeFailure",
+    "NodeReboot",
+    "TransientAppCrash",
+]

@@ -1,0 +1,226 @@
+"""The fault catalogue.
+
+Every fault targets an :class:`~repro.faults.injector.Environment` — a
+duck-typed bundle exposing ``systems`` (name → NTSystem), ``network``,
+optionally ``pair`` (the OfttPair) and ``fieldbuses``.  Faults are
+idempotent-ish: applying one to an already-failed target is a no-op
+rather than an error, so randomized campaigns compose safely.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.errors import FaultInjectionError
+from repro.nt.system import SystemState
+
+
+class Fault:
+    """Base fault: subclasses implement :meth:`apply`."""
+
+    #: §4 demo letter this fault reproduces ("" for extensions).
+    demo_id = ""
+
+    def apply(self, env: Any) -> None:
+        """Inject the fault into *env* now."""
+        raise NotImplementedError
+
+    def describe(self) -> str:
+        """Human-readable one-liner."""
+        return type(self).__name__
+
+    def _system(self, env: Any, node: str):
+        if node not in env.systems:
+            raise FaultInjectionError(f"no such node {node}")
+        return env.systems[node]
+
+    def __repr__(self) -> str:
+        return self.describe()
+
+
+class NodeFailure(Fault):
+    """§4 demo (a): the machine loses power."""
+
+    demo_id = "a"
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+
+    def apply(self, env: Any) -> None:
+        system = self._system(env, self.node)
+        if system.state is not SystemState.OFF:
+            system.power_off()
+
+    def describe(self) -> str:
+        return f"node failure (power-off) on {self.node}"
+
+
+class BlueScreen(Fault):
+    """§4 demo (b): NT crash — the blue screen of death."""
+
+    demo_id = "b"
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+
+    def apply(self, env: Any) -> None:
+        system = self._system(env, self.node)
+        if system.state is SystemState.UP:
+            system.bluescreen()
+
+    def describe(self) -> str:
+        return f"NT crash (bluescreen) on {self.node}"
+
+
+class AppCrash(Fault):
+    """§4 demo (c): the application process dies."""
+
+    demo_id = "c"
+
+    def __init__(self, node: str, process_name: str) -> None:
+        self.node = node
+        self.process_name = process_name
+
+    def apply(self, env: Any) -> None:
+        system = self._system(env, self.node)
+        process = system.find_process(self.process_name)
+        if process is not None and process.alive:
+            process.kill(code=-9)
+
+    def describe(self) -> str:
+        return f"application failure: {self.process_name} on {self.node}"
+
+
+class TransientAppCrash(AppCrash):
+    """A crash expected to be transient (exercises LOCAL_RESTART rules)."""
+
+    demo_id = ""
+
+    def describe(self) -> str:
+        return f"transient application failure: {self.process_name} on {self.node}"
+
+
+class AppHang(Fault):
+    """The application wedges: process alive, threads stuck (heartbeats stop)."""
+
+    def __init__(self, node: str, process_name: str) -> None:
+        self.node = node
+        self.process_name = process_name
+
+    def apply(self, env: Any) -> None:
+        system = self._system(env, self.node)
+        process = system.find_process(self.process_name)
+        if process is not None and process.alive:
+            process.hang()
+
+    def describe(self) -> str:
+        return f"application hang: {self.process_name} on {self.node}"
+
+
+class MiddlewareCrash(Fault):
+    """§4 demo (d): the OFTT engine process dies."""
+
+    demo_id = "d"
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+
+    def apply(self, env: Any) -> None:
+        system = self._system(env, self.node)
+        process = system.find_process("oftt-engine")
+        if process is not None and process.alive:
+            process.kill(code=-9)
+
+    def describe(self) -> str:
+        return f"OFTT middleware failure on {self.node}"
+
+
+class LinkDown(Fault):
+    """An entire Ethernet segment goes down."""
+
+    def __init__(self, link: str) -> None:
+        self.link = link
+
+    def apply(self, env: Any) -> None:
+        if self.link not in env.network.links:
+            raise FaultInjectionError(f"no such link {self.link}")
+        env.network.links[self.link].up = False
+
+    def describe(self) -> str:
+        return f"link down: {self.link}"
+
+
+class NicDown(Fault):
+    """One node's NIC on one segment fails (dual-network experiments)."""
+
+    def __init__(self, node: str, link: str) -> None:
+        self.node = node
+        self.link = link
+
+    def apply(self, env: Any) -> None:
+        env.network.nodes[self.node].nic_down(self.link)
+
+    def describe(self) -> str:
+        return f"NIC down: {self.node} on {self.link}"
+
+
+class NetworkPartition(Fault):
+    """Partition every segment between two node groups."""
+
+    def __init__(self, side_a: List[str], side_b: List[str]) -> None:
+        self.side_a = list(side_a)
+        self.side_b = list(side_b)
+
+    def apply(self, env: Any) -> None:
+        env.partitions.split_all(self.side_a, self.side_b)
+
+    def describe(self) -> str:
+        return f"network partition: {self.side_a} | {self.side_b}"
+
+
+class FieldbusFailure(Fault):
+    """The industrial network to the PLC devices fails."""
+
+    def __init__(self, bus_name: str) -> None:
+        self.bus_name = bus_name
+
+    def apply(self, env: Any) -> None:
+        buses = getattr(env, "fieldbuses", {})
+        if self.bus_name not in buses:
+            raise FaultInjectionError(f"no such fieldbus {self.bus_name}")
+        buses[self.bus_name].fail()
+
+    def describe(self) -> str:
+        return f"fieldbus failure: {self.bus_name}"
+
+
+class NodeReboot(Fault):
+    """Power-cycle a node and (optionally) reinstall its OFTT stack.
+
+    Models the repair action after demos (a)/(b): the machine comes back,
+    the NT services restart, and the node rejoins the pair as backup.
+    """
+
+    def __init__(self, node: str, reinstall: bool = True, extra_delay: float = 0.0) -> None:
+        self.node = node
+        self.reinstall = reinstall
+        self.extra_delay = extra_delay
+
+    def apply(self, env: Any) -> None:
+        system = self._system(env, self.node)
+        if system.state is SystemState.UP:
+            system.power_off()
+        system.reboot(extra_delay=self.extra_delay)
+        if self.reinstall and getattr(env, "pair", None) is not None:
+            node = self.node
+
+            def rejoin(booted_system) -> None:
+                # One-shot: boot callbacks persist across reboots, and a
+                # second reinstall on the same boot would collide.
+                booted_system.on_boot.remove(rejoin)
+                env.pair.reinstall_node(node)
+
+            system.on_boot.append(rejoin)
+
+    def describe(self) -> str:
+        return f"reboot {self.node} (reinstall={self.reinstall})"

@@ -1,0 +1,63 @@
+"""Applying faults to a scenario environment."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.faults.faultlib import Fault
+from repro.simnet.kernel import SimKernel
+from repro.simnet.trace import TraceLog
+
+
+@dataclass
+class InjectedFault:
+    """Book-keeping for one injected fault."""
+
+    fault: Fault
+    at: float
+    applied: bool = False
+
+
+class FaultInjector:
+    """Schedules and applies faults against one environment.
+
+    The environment is duck-typed; see :mod:`repro.faults.faultlib` for
+    the attributes faults expect (``systems``, ``network``, ``partitions``,
+    ``pair``, ``fieldbuses``).
+    """
+
+    def __init__(self, kernel: SimKernel, env: Any, trace: Optional[TraceLog] = None) -> None:
+        self.kernel = kernel
+        self.env = env
+        env_trace = getattr(env, "trace", None)
+        self.trace = trace if trace is not None else (env_trace if env_trace is not None else TraceLog(clock=lambda: kernel.now))
+        self.injected: List[InjectedFault] = []
+
+    def inject_now(self, fault: Fault) -> InjectedFault:
+        """Apply *fault* immediately."""
+        record = InjectedFault(fault=fault, at=self.kernel.now)
+        self._apply(record)
+        return record
+
+    def inject_at(self, at: float, fault: Fault) -> InjectedFault:
+        """Apply *fault* at absolute simulated time *at*."""
+        record = InjectedFault(fault=fault, at=at)
+        delay = max(0.0, at - self.kernel.now)
+        self.kernel.schedule(delay, self._apply, record)
+        self.injected.append(record)
+        return record
+
+    def _apply(self, record: InjectedFault) -> None:
+        self.trace.emit("fault", "injector", "inject", fault=record.fault.describe(), demo=record.fault.demo_id)
+        record.fault.apply(self.env)
+        record.applied = True
+        if record not in self.injected:
+            self.injected.append(record)
+
+    def applied_faults(self) -> List[InjectedFault]:
+        """Faults that have actually fired so far."""
+        return [record for record in self.injected if record.applied]
+
+    def __repr__(self) -> str:
+        return f"FaultInjector({len(self.injected)} scheduled, {len(self.applied_faults())} applied)"

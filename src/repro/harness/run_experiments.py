@@ -1,0 +1,60 @@
+"""Run every experiment in the DESIGN.md index and print its table.
+
+This is how EXPERIMENTS.md's "measured" columns are produced::
+
+    python -m repro.harness.run_experiments            # everything
+    python -m repro.harness.run_experiments X1 X3      # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.harness import experiments as E
+from repro.harness.reporting import format_dict, format_table
+
+# id -> (title, runner)
+EXPERIMENTS: Dict[str, Tuple[str, Callable[[], Any]]] = {
+    "F1": ("F1a/F1b: reference configurations under node failure", lambda: E.exp_reference_configs(seed=3)),
+    "F2": ("F2: Figure 2 architecture — live component counters", lambda: E.exp_architecture(seed=7)),
+    "F3": ("F3/T1: Table 1 software configuration, verified live", lambda: E.exp_demo_config(seed=9)),
+    "D": ("D-a..d: §4 failure demonstrations (Figure 3 testbed)", lambda: E.exp_failover_demos(seed=5)),
+    "X1": ("X1: checkpoint bytes by capture mode and state size", lambda: E.exp_checkpoint_cost(seed=11)),
+    "X2": ("X2: hang-detection latency vs heartbeat period/timeout", lambda: E.exp_detection_latency(seed=13)),
+    "X3": ("X3: false-shutdown rate vs startup retry budget", lambda: E.exp_startup(seeds=list(range(25)))),
+    "X4": ("X4: events lost across switchover, diverter vs naive", lambda: E.exp_diverter(seeds=[0, 1, 2, 3, 4])),
+    "X5": ("X5: transient app crash under each recovery rule", lambda: E.exp_recovery_rules(seed=17)),
+    "X6": ("X6: time for a client to learn its server died", lambda: E.exp_dcom(seed=19)),
+    "X7": ("X7: integration level vs checkpoint cost and staleness", lambda: E.exp_api_levels(seed=23)),
+    "A1": ("A1: NIC failure with single vs dual Ethernet", lambda: E.exp_ablation_dual_lan(seed=51)),
+    "A2": ("A2: false takeovers vs heartbeat timeout on lossy links", lambda: E.exp_ablation_heartbeat_loss(seed=53)),
+    "A3": ("A3: checkpoint period vs traffic vs staleness bound", lambda: E.exp_ablation_checkpoint_period(seed=55)),
+    "BL": ("BL: monitoring blackout across a station power-off (F1a)", lambda: E.exp_scada_blackout(seed=9)),
+}
+
+
+def run(ids: List[str]) -> None:
+    """Run the selected experiments, printing each result table."""
+    for experiment_id in ids:
+        title, runner = EXPERIMENTS[experiment_id]
+        result = runner()
+        print()
+        if isinstance(result, dict):
+            print(format_dict(title, result))
+        else:
+            print(format_table(list(result[0].keys()), [list(row.values()) for row in result], title=title))
+
+
+def main(argv: List[str]) -> int:
+    requested = argv or list(EXPERIMENTS)
+    unknown = [experiment_id for experiment_id in requested if experiment_id not in EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; available: {sorted(EXPERIMENTS)}")
+        return 2
+    run(requested)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

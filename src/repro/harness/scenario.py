@@ -1,0 +1,307 @@
+"""Scenario builders for the paper's configurations.
+
+* :func:`build_demo` — Figure 3 + Table 1: three PCs on an Ethernet; a
+  primary/backup pair running the Call Track application (with OFTT
+  engine + client FTIM), and a test/interface PC running the OFTT System
+  Monitor, the Telephone System Simulator and the Calling History
+  generator.
+* :func:`build_remote_monitoring` — Figure 1(a): PLC + fieldbus devices,
+  an industrial PC exposing them through an OPC server, and a redundant
+  monitor/control PC pair running an OFTT-protected SCADA client.
+* :func:`build_integrated` — Figure 1(b): the pair itself hosts both the
+  OPC server app (device interface, server FTIM) and the monitoring
+  client app (client FTIM).
+
+Every scenario owns its kernel/network/trace, is deterministic for a
+given seed, and exposes the attribute set
+:mod:`repro.faults` expects (``systems``, ``network``, ``partitions``,
+``pair``, ``fieldbuses``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+from repro.apps.calltrack import CallTrackApp
+from repro.apps.history import CallingHistoryGenerator
+from repro.apps.opcserver import OpcServerApp
+from repro.apps.scada import AlarmRule, ScadaMonitorApp
+from repro.core.cluster import OfttPair
+from repro.core.config import OfttConfig
+from repro.core.diverter import DiverterClient
+from repro.core.monitor import SystemMonitor
+from repro.devices.device import Actuator, Sensor
+from repro.devices.fieldbus import Fieldbus
+from repro.devices.plc import PLC, PlcOpcBridge
+from repro.devices.signals import RandomWalk, Sine
+from repro.devices.telephone import TelephoneSystem
+from repro.msq.manager import QueueManager
+from repro.nt.system import NTSystem
+from repro.opc.server import OpcServer
+from repro.com.runtime import ComRuntime
+from repro.simnet.kernel import SimKernel
+from repro.simnet.network import Network
+from repro.simnet.partitions import PartitionController
+from repro.simnet.random import RngStreams
+from repro.simnet.trace import TraceLog
+
+#: Node names used by the Figure 3 demo configuration.
+DEMO_NODES = ("node1", "node2")
+TEST_PC = "test-pc"
+
+
+class _BaseScenario:
+    """Common plumbing: kernel, RNG, trace, network, NT machines."""
+
+    def __init__(self, seed: int, dual_lan: bool) -> None:
+        self.seed = seed
+        self.kernel = SimKernel()
+        self.rngs = RngStreams(seed)
+        self.trace = TraceLog(clock=lambda: self.kernel.now)
+        self.network = Network(self.kernel, self.rngs, self.trace)
+        self.partitions = PartitionController(self.network)
+        self.systems: Dict[str, NTSystem] = {}
+        self.fieldbuses: Dict[str, Fieldbus] = {}
+        self.pair: Optional[OfttPair] = None
+        self.lans = ["lan0", "lan1"] if dual_lan else ["lan0"]
+        for lan in self.lans:
+            self.network.add_link(lan, latency=0.5, jitter=0.1)
+
+    def _add_machine(self, name: str, lans: Optional[List[str]] = None) -> NTSystem:
+        self.network.add_node(name)
+        for lan in lans if lans is not None else self.lans:
+            self.network.attach(name, lan)
+        system = NTSystem(self.kernel, self.network.nodes[name], self.rngs, self.trace)
+        self.systems[name] = system
+        return system
+
+    def run(self, until: float) -> float:
+        """Advance simulated time to *until*."""
+        return self.kernel.run(until=until)
+
+    def run_for(self, duration: float) -> float:
+        """Advance simulated time by *duration*."""
+        return self.kernel.run(until=self.kernel.now + duration)
+
+
+class DemoScenario(_BaseScenario):
+    """Figure 3 / Table 1: the Call Track demonstration testbed."""
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[OfttConfig] = None,
+        dual_lan: bool = True,
+        lines: int = 5,
+        callers: int = 10,
+        mean_idle: float = 8_000.0,
+        mean_call: float = 4_000.0,
+        save_on_end: bool = True,
+    ) -> None:
+        super().__init__(seed, dual_lan)
+        self.config = config or OfttConfig()
+
+        for name in DEMO_NODES:
+            self._add_machine(name).boot_immediately()
+        # The test PC needs only one network path in the paper's figure.
+        self._add_machine(TEST_PC, lans=[self.lans[0]]).boot_immediately()
+
+        # The redundant pair runs the Call Track application.
+        self.pair = OfttPair(
+            network=self.network,
+            systems={name: self.systems[name] for name in DEMO_NODES},
+            config=self.config,
+            app_factory=lambda: CallTrackApp(unit="calltrack", lines=lines, save_on_end=save_on_end),
+            unit="calltrack",
+            monitor_nodes=[TEST_PC],
+            subscriber_nodes=[TEST_PC],
+            trace=self.trace,
+        )
+
+        # Test/interface PC: monitor + telephone simulator + history.
+        test_node = self.network.nodes[TEST_PC]
+        self.monitor = SystemMonitor(self.kernel, test_node)
+        self.test_qmgr = QueueManager(self.kernel, self.network, test_node)
+        self.test_qmgr.attach_to_system(self.systems[TEST_PC])
+        self.diverter_client = DiverterClient(
+            node=test_node,
+            qmgr=self.test_qmgr,
+            unit="calltrack",
+            pair_nodes=list(DEMO_NODES),
+            trace=self.trace,
+        )
+        self.telephone = TelephoneSystem(
+            self.kernel,
+            self.rngs.stream("telephone"),
+            lines=lines,
+            callers=callers,
+            mean_idle=mean_idle,
+            mean_call=mean_call,
+        )
+        self.history = CallingHistoryGenerator(self.telephone)
+        # Kept as an attribute so experiments can swap the transport
+        # (e.g. X4's naive sender) without disturbing the history recorder.
+        self.forward_listener = lambda event: self.diverter_client.send(event.as_wire(), label=event.kind)
+        self.telephone.add_listener(self.forward_listener)
+
+    def start(self, settle: bool = True) -> None:
+        """Start the pair and the workload."""
+        self.pair.start()
+        if settle:
+            self.pair.settle()
+        self.telephone.start()
+
+    def primary_app(self) -> Optional[CallTrackApp]:
+        """The Call Track copy currently executing (None during failover)."""
+        primary = self.pair.primary_node()
+        return self.pair.apps[primary] if primary is not None else None
+
+
+class RemoteMonitoringScenario(_BaseScenario):
+    """Figure 1(a): control with remote monitoring."""
+
+    INDUSTRIAL_PC = "industrial-pc"
+    PAIR_NODES = ("monitor1", "monitor2")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[OfttConfig] = None,
+        dual_lan: bool = True,
+        scan_period: float = 50.0,
+        update_rate: float = 200.0,
+    ) -> None:
+        super().__init__(seed, dual_lan)
+        self.config = config or OfttConfig()
+
+        # Plant floor: fieldbus, devices, PLC.
+        bus = Fieldbus("devicenet0")
+        bus.attach(Sensor("temp", Sine(offset=60.0, amplitude=25.0, period=20_000.0), noise=0.3))
+        bus.attach(Sensor("pressure", RandomWalk(start=5.0, step=0.05, mean=5.0, minimum=0.0)))
+        bus.attach(Sensor("flow", RandomWalk(start=120.0, step=1.0, mean=120.0, minimum=0.0)))
+        bus.attach(Actuator("cooling_pump"))
+        self.fieldbuses[bus.name] = bus
+        self.plc = PLC(self.kernel, "plc1", bus, self.rngs.stream("plc"), scan_period=scan_period)
+        self.plc.map_output("cooling_pump")
+
+        def interlock(inputs, outputs, _time) -> None:
+            outputs["cooling_pump"] = 1.0 if inputs.get("temp", 0.0) > 75.0 else 0.0
+
+        self.plc.add_logic(interlock)
+
+        # Industrial PC: hosts the (unprotected) OPC server for the PLC.
+        industrial = self._add_machine(self.INDUSTRIAL_PC)
+        industrial.boot_immediately()
+        self.industrial_runtime = ComRuntime(industrial, self.network)
+        self.opc_server = OpcServer(self.industrial_runtime, "OPC.Plant.1")
+        self.bridge = PlcOpcBridge(self.kernel, self.plc, self.opc_server, poll_period=update_rate / 2.0)
+        self.server_ref = self.industrial_runtime.export(self.opc_server, label="OPC.Plant.1")
+
+        # Monitor/control PC pair with the protected SCADA client.
+        for name in self.PAIR_NODES:
+            self._add_machine(name).boot_immediately()
+        items = ["plc1.temp", "plc1.pressure", "plc1.flow", "plc1.cooling_pump"]
+        alarms = [AlarmRule("plc1.temp", high_limit=80.0, control_write=("plc1.cooling_pump", 1.0))]
+        self.pair = OfttPair(
+            network=self.network,
+            systems={name: self.systems[name] for name in self.PAIR_NODES},
+            config=self.config,
+            app_factory=lambda: ScadaMonitorApp(
+                server_ref=self.server_ref, items=items, alarms=alarms, update_rate=update_rate
+            ),
+            unit="scada",
+            trace=self.trace,
+        )
+
+    def start(self, settle: bool = True) -> None:
+        """Start plant, server and the protected pair."""
+        self.plc.start()
+        self.bridge.start()
+        self.pair.start()
+        if settle:
+            self.pair.settle()
+
+    def primary_app(self) -> Optional[ScadaMonitorApp]:
+        """The SCADA copy currently executing."""
+        primary = self.pair.primary_node()
+        return self.pair.apps[primary] if primary is not None else None
+
+
+class IntegratedScenario(_BaseScenario):
+    """Figure 1(b): integrated monitoring and control.
+
+    The pair nodes host *both* the OPC server app (device interface,
+    stateless server FTIM) and the monitoring client app (client FTIM) —
+    the full Figure 2 software architecture on one pair.
+    """
+
+    PAIR_NODES = ("mc1", "mc2")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[OfttConfig] = None,
+        dual_lan: bool = True,
+        scan_period: float = 50.0,
+    ) -> None:
+        super().__init__(seed, dual_lan)
+        self.config = config or OfttConfig()
+
+        bus = Fieldbus("fieldbus0")
+        bus.attach(Sensor("level", RandomWalk(start=50.0, step=0.5, mean=50.0, minimum=0.0, maximum=100.0)))
+        bus.attach(Sensor("temp", Sine(offset=40.0, amplitude=15.0, period=15_000.0)))
+        bus.attach(Actuator("inlet_valve"))
+        self.fieldbuses[bus.name] = bus
+        self.plc = PLC(self.kernel, "plc1", bus, self.rngs.stream("plc"), scan_period=scan_period)
+        self.plc.map_output("inlet_valve")
+
+        def level_control(inputs, outputs, _time) -> None:
+            outputs["inlet_valve"] = 1.0 if inputs.get("level", 50.0) < 45.0 else 0.0
+
+        self.plc.add_logic(level_control)
+
+        for name in self.PAIR_NODES:
+            self._add_machine(name).boot_immediately()
+
+        def make_apps():
+            server_app = OpcServerApp(self.plc, server_name="OPC.Integrated.1")
+            client_app = ScadaMonitorApp(
+                server_ref=None,  # wired on export below (local server)
+                items=["plc1.level", "plc1.temp", "plc1.inlet_valve"],
+                alarms=[AlarmRule("plc1.level", high_limit=70.0)],
+            )
+            # The client connects to whatever ObjRef the co-located server
+            # app exports on each (re)launch.
+            server_app.on_export.append(lambda ref: setattr(client_app, "server_ref", ref))
+            return [server_app, client_app]
+
+        self.pair = OfttPair(
+            network=self.network,
+            systems={name: self.systems[name] for name in self.PAIR_NODES},
+            config=self.config,
+            app_factory=make_apps,
+            unit="integrated",
+            trace=self.trace,
+        )
+
+    def start(self, settle: bool = True) -> None:
+        """Start plant and pair."""
+        self.plc.start()
+        self.pair.start()
+        if settle:
+            self.pair.settle()
+
+
+def build_demo(seed: int = 0, config: Optional[OfttConfig] = None, **kwargs) -> DemoScenario:
+    """Construct (without starting) the Figure 3 demo scenario."""
+    return DemoScenario(seed=seed, config=config, **kwargs)
+
+
+def build_remote_monitoring(seed: int = 0, config: Optional[OfttConfig] = None, **kwargs) -> RemoteMonitoringScenario:
+    """Construct (without starting) the Figure 1(a) scenario."""
+    return RemoteMonitoringScenario(seed=seed, config=config, **kwargs)
+
+
+def build_integrated(seed: int = 0, config: Optional[OfttConfig] = None, **kwargs) -> IntegratedScenario:
+    """Construct (without starting) the Figure 1(b) scenario."""
+    return IntegratedScenario(seed=seed, config=config, **kwargs)

@@ -1,0 +1,102 @@
+"""Queues and messages."""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional
+
+
+@dataclass
+class QueueMessage:
+    """A message stored in (or travelling towards) a queue."""
+
+    message_id: str
+    sender: str
+    body: Any
+    persistent: bool = True
+    enqueued_at: float = 0.0
+    sent_at: float = 0.0
+    delivery_count: int = 0
+    label: str = ""
+
+    def __repr__(self) -> str:
+        kind = "persistent" if self.persistent else "express"
+        return f"QueueMessage({self.message_id}, {kind}, from={self.sender}, label={self.label})"
+
+
+class MsmqQueue:
+    """A FIFO queue on one node.
+
+    Consumers either poll with :meth:`receive` / :meth:`peek` or subscribe
+    a push callback.  A journal keeps copies of consumed messages when
+    enabled (useful for the diverter's redelivery window).
+    """
+
+    _seq = itertools.count(1)
+
+    def __init__(self, name: str, owner_node: str, journal: bool = False) -> None:
+        self.name = name
+        self.owner_node = owner_node
+        self.journal_enabled = journal
+        self.messages: List[QueueMessage] = []
+        self.journal: List[QueueMessage] = []
+        self.seen_ids: set = set()
+        self.total_enqueued = 0
+        self._subscriber: Optional[Callable[[QueueMessage], None]] = None
+
+    def enqueue(self, message: QueueMessage, now: float) -> bool:
+        """Append a message; duplicates (same id) are dropped.
+
+        Returns whether the message was new.
+        """
+        if message.message_id in self.seen_ids:
+            return False
+        self.seen_ids.add(message.message_id)
+        message.enqueued_at = now
+        self.messages.append(message)
+        self.total_enqueued += 1
+        if self._subscriber is not None:
+            self._drain()
+        return True
+
+    def subscribe(self, callback: Callable[[QueueMessage], None]) -> None:
+        """Push mode: deliver queued and future messages to *callback*."""
+        self._subscriber = callback
+        self._drain()
+
+    def unsubscribe(self) -> None:
+        """Stop push delivery; messages accumulate again."""
+        self._subscriber = None
+
+    def _drain(self) -> None:
+        while self.messages and self._subscriber is not None:
+            message = self.messages.pop(0)
+            if self.journal_enabled:
+                self.journal.append(message)
+            self._subscriber(message)
+
+    def receive(self) -> Optional[QueueMessage]:
+        """Pop the head message (None when empty)."""
+        if not self.messages:
+            return None
+        message = self.messages.pop(0)
+        if self.journal_enabled:
+            self.journal.append(message)
+        return message
+
+    def peek(self) -> Optional[QueueMessage]:
+        """Head message without consuming it."""
+        return self.messages[0] if self.messages else None
+
+    def purge_express(self) -> int:
+        """Drop non-persistent messages (crash recovery); returns count."""
+        before = len(self.messages)
+        self.messages = [m for m in self.messages if m.persistent]
+        return before - len(self.messages)
+
+    def __len__(self) -> int:
+        return len(self.messages)
+
+    def __repr__(self) -> str:
+        return f"MsmqQueue({self.owner_node}/{self.name}, depth={len(self.messages)})"

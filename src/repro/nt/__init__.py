@@ -1,0 +1,52 @@
+"""Simulated Windows NT node model.
+
+The paper's checkpointing mechanism is defined in terms of NT kernel
+objects: thread contexts obtained with ``GetThreadContext()``, a "memory
+walkthrough" extracting stack and global variables, and an IAT
+(Import Address Table) interception trick to learn the handles of threads
+created dynamically with ``CreateThread()`` — which the standard Win32
+APIs do not expose (§2.2.2, §3.1).
+
+This package reproduces that model faithfully enough for the OFTT logic to
+be exercised end to end:
+
+* :class:`NTSystem` — one per network node; boot, process table, and the
+  crash modes demonstrated in §4 (power-off, bluescreen, hang, reboot).
+* :class:`NTProcess` / :class:`NTThread` — kernel objects with register
+  contexts, stacks and address spaces.
+* :class:`AddressSpace` / :class:`MemoryRegion` — named memory regions
+  supporting the checkpoint walkthrough.
+* :class:`Kernel32` — the Win32-like API surface, routed through the IAT
+  so hooks observe every call.
+* :class:`ImportAddressTable` — hookable API dispatch.
+* :class:`NTRegistry` — per-node registry used for COM class registration.
+* :class:`PerfMon` — performance counters, including the *misleading*
+  thread start address the paper complains about.
+"""
+
+from repro.nt.memory import AddressSpace, MemoryRegion
+from repro.nt.thread import ThreadContext, NTThread, ThreadState
+from repro.nt.process import NTProcess, ProcessState
+from repro.nt.iat import ImportAddressTable
+from repro.nt.kernel32 import Kernel32, ThreadHandle
+from repro.nt.registry import NTRegistry
+from repro.nt.perfmon import PerfMon, NTDLL_STUB_ADDRESS
+from repro.nt.system import NTSystem, SystemState
+
+__all__ = [
+    "AddressSpace",
+    "ImportAddressTable",
+    "Kernel32",
+    "MemoryRegion",
+    "NTDLL_STUB_ADDRESS",
+    "NTProcess",
+    "NTRegistry",
+    "NTSystem",
+    "NTThread",
+    "PerfMon",
+    "ProcessState",
+    "SystemState",
+    "ThreadContext",
+    "ThreadHandle",
+    "ThreadState",
+]

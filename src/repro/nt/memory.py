@@ -1,0 +1,184 @@
+"""Process address spaces and the checkpoint "memory walkthrough".
+
+The paper checkpoints by copying "the address space (or the selected
+subset) and the stack" of the application.  We model an address space as a
+set of named :class:`MemoryRegion` objects — globals, heap allocations,
+and one stack region per thread — each holding named variables.  The FTIM
+walks these regions to capture a checkpoint.
+"""
+
+from __future__ import annotations
+
+import copy
+from typing import Any, Dict, Iterator, List, Optional
+
+from repro.errors import AccessViolation
+
+
+GLOBAL = "global"
+HEAP = "heap"
+STACK = "stack"
+
+_KINDS = (GLOBAL, HEAP, STACK)
+
+
+class MemoryRegion:
+    """A named region of a process address space.
+
+    Variables are stored by name; values must be plain picklable Python
+    data (the checkpoint layer deep-copies them).
+    """
+
+    def __init__(self, name: str, kind: str = GLOBAL) -> None:
+        if kind not in _KINDS:
+            raise AccessViolation(f"unknown region kind {kind!r}")
+        self.name = name
+        self.kind = kind
+        self.protected = False
+        self._data: Dict[str, Any] = {}
+
+    def write(self, var: str, value: Any) -> None:
+        """Store *value* under *var*; fails on protected regions."""
+        if self.protected:
+            raise AccessViolation(f"write to protected region {self.name}")
+        self._data[var] = value
+
+    def read(self, var: str) -> Any:
+        """Read *var*; missing names are an access violation."""
+        if var not in self._data:
+            raise AccessViolation(f"read of unmapped {self.name}:{var}")
+        return self._data[var]
+
+    def delete(self, var: str) -> None:
+        """Remove *var* from the region."""
+        if self.protected:
+            raise AccessViolation(f"write to protected region {self.name}")
+        self._data.pop(var, None)
+
+    def variables(self) -> List[str]:
+        """Names stored in this region, sorted for determinism."""
+        return sorted(self._data)
+
+    def snapshot(self) -> Dict[str, Any]:
+        """Deep copy of the region's contents."""
+        return copy.deepcopy(self._data)
+
+    def restore(self, data: Dict[str, Any]) -> None:
+        """Replace the region's contents with a deep copy of *data*."""
+        self._data = copy.deepcopy(data)
+
+    def size_bytes(self) -> int:
+        """Rough size estimate used for checkpoint cost modelling."""
+        return sum(_estimate_size(value) for value in self._data.values()) + 16 * len(self._data)
+
+    def __contains__(self, var: str) -> bool:
+        return var in self._data
+
+    def __len__(self) -> int:
+        return len(self._data)
+
+    def __repr__(self) -> str:
+        return f"MemoryRegion({self.name}, kind={self.kind}, vars={len(self._data)})"
+
+
+class AddressSpace:
+    """The full address space of an :class:`~repro.nt.process.NTProcess`."""
+
+    def __init__(self, owner_name: str) -> None:
+        self.owner_name = owner_name
+        self._regions: Dict[str, MemoryRegion] = {}
+        self.map_region("globals", GLOBAL)
+
+    # -- region management -------------------------------------------------
+
+    def map_region(self, name: str, kind: str = HEAP) -> MemoryRegion:
+        """Create a region (error if the name already exists)."""
+        if name in self._regions:
+            raise AccessViolation(f"region {name} already mapped in {self.owner_name}")
+        region = MemoryRegion(name, kind)
+        self._regions[name] = region
+        return region
+
+    def unmap_region(self, name: str) -> None:
+        """Destroy a region; subsequent access faults."""
+        if name not in self._regions:
+            raise AccessViolation(f"unmap of unknown region {name}")
+        del self._regions[name]
+
+    def region(self, name: str) -> MemoryRegion:
+        """Fetch a region by name or fault."""
+        if name not in self._regions:
+            raise AccessViolation(f"no region {name} in {self.owner_name}")
+        return self._regions[name]
+
+    def has_region(self, name: str) -> bool:
+        """Whether *name* is mapped."""
+        return name in self._regions
+
+    def regions(self, kind: Optional[str] = None) -> Iterator[MemoryRegion]:
+        """Iterate regions (optionally of one kind), sorted by name."""
+        for name in sorted(self._regions):
+            region = self._regions[name]
+            if kind is None or region.kind == kind:
+                yield region
+
+    # -- convenience global access ------------------------------------------
+
+    @property
+    def globals(self) -> MemoryRegion:
+        """The process's global-variable region (always present)."""
+        return self._regions["globals"]
+
+    def write(self, var: str, value: Any, region: str = "globals") -> None:
+        """Write a variable into *region* (default globals)."""
+        self.region(region).write(var, value)
+
+    def read(self, var: str, region: str = "globals") -> Any:
+        """Read a variable from *region* (default globals)."""
+        return self.region(region).read(var)
+
+    # -- walkthrough ----------------------------------------------------------
+
+    def walkthrough(self, kinds: Optional[List[str]] = None) -> Dict[str, Dict[str, Any]]:
+        """The checkpoint "memory walkthrough": snapshot region contents.
+
+        Parameters
+        ----------
+        kinds:
+            Region kinds to include; defaults to all kinds.
+        """
+        wanted = set(kinds) if kinds is not None else set(_KINDS)
+        return {
+            region.name: region.snapshot()
+            for region in self.regions()
+            if region.kind in wanted
+        }
+
+    def restore_walkthrough(self, image: Dict[str, Dict[str, Any]]) -> None:
+        """Load a walkthrough image, creating missing regions as heap."""
+        for region_name, data in image.items():
+            if not self.has_region(region_name):
+                self.map_region(region_name, HEAP)
+            self.region(region_name).restore(data)
+
+    def size_bytes(self) -> int:
+        """Estimated total footprint, for checkpoint cost modelling."""
+        return sum(region.size_bytes() for region in self.regions())
+
+    def __repr__(self) -> str:
+        return f"AddressSpace({self.owner_name}, regions={sorted(self._regions)})"
+
+
+def _estimate_size(value: Any) -> int:
+    """Crude recursive size estimate for cost modelling (not accounting)."""
+    if isinstance(value, (int, float, bool)) or value is None:
+        return 8
+    if isinstance(value, str):
+        return len(value)
+    if isinstance(value, bytes):
+        return len(value)
+    if isinstance(value, dict):
+        return 16 + sum(_estimate_size(k) + _estimate_size(v) for k, v in value.items())
+    if isinstance(value, (list, tuple, set)):
+        return 16 + sum(_estimate_size(item) for item in value)
+    return 64

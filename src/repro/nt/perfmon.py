@@ -1,0 +1,61 @@
+"""NT performance monitor counters.
+
+The paper (§3.1) singles the performance monitor out as "not completely
+specified and in some cases ... just misleading": the thread start address
+counter "is always the pointer to a routine in NTDLL.DLL and thus can not
+be used as the start address of a thread created dynamically".
+
+We reproduce that defect on purpose: :meth:`PerfMon.thread_start_address`
+returns :data:`NTDLL_STUB_ADDRESS` for every thread, so any component that
+tries to identify dynamic threads via perfmon (instead of the IAT hook)
+fails — exactly the dead end the OFTT authors hit.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.nt.system import NTSystem
+
+#: The NTDLL thread-start thunk every perfmon thread entry points at.
+NTDLL_STUB_ADDRESS = 0x77F0_5000
+
+
+class PerfMon:
+    """Read-only performance counters over an :class:`NTSystem`."""
+
+    def __init__(self, system: "NTSystem") -> None:
+        self.system = system
+
+    def process_count(self) -> int:
+        """Number of live processes."""
+        return sum(1 for process in self.system.processes.values() if process.alive)
+
+    def thread_count(self) -> int:
+        """Number of live threads across all processes."""
+        return sum(len(process.live_threads()) for process in self.system.processes.values() if process.alive)
+
+    def process_names(self) -> List[str]:
+        """Names of live processes, sorted."""
+        return sorted(process.name for process in self.system.processes.values() if process.alive)
+
+    def thread_ids(self, process_name: str) -> List[int]:
+        """TIDs of live threads in *process_name* (all of them — perfmon
+        does see dynamic threads exist, it just misreports their start)."""
+        process = self.system.find_process(process_name)
+        if process is None:
+            return []
+        return sorted(thread.tid for thread in process.live_threads())
+
+    def thread_start_address(self, _tid: int) -> int:
+        """The *misleading* counter: always the NTDLL stub (see module doc)."""
+        return NTDLL_STUB_ADDRESS
+
+    def snapshot(self) -> Dict[str, int]:
+        """A coarse counter set, like one perfmon sampling pass."""
+        return {
+            "processes": self.process_count(),
+            "threads": self.thread_count(),
+            "uptime_ms": int(self.system.uptime()),
+        }

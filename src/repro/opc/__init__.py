@@ -1,0 +1,46 @@
+"""OPC (OLE for Process Control) stack.
+
+OPC "specifies a unified interface for accessing different types of data":
+a hardware vendor wraps its device driver in a COM object (the *OPC
+server*) and any application (an *OPC client*) reads plant data through
+the standard interfaces (§1 of the paper).
+
+This package implements the subset of OPC-DA the paper's architecture
+uses:
+
+* :class:`OpcServer` — a COM object exposing item read/write, browsing,
+  group management and status.
+* :class:`OpcGroup` — update-rate/deadband-driven data-change
+  subscriptions (``IOPCDataCallback::OnDataChange``), deliverable locally
+  or through DCOM one-way calls.
+* :class:`OpcClient` — client-side helper for connecting to local or
+  remote servers.
+* :class:`ItemNamespace` / :class:`ItemDef` — the server address space.
+* :class:`OpcValue` / :class:`Quality` — values with OPC quality flags
+  and timestamps.
+"""
+
+from repro.opc.types import OpcValue, Quality, VT_BOOL, VT_I4, VT_R8, VT_BSTR, canonical_vt
+from repro.opc.items import ItemDef, ItemNamespace
+from repro.opc.group import OpcGroup, IOPC_DATA_CALLBACK
+from repro.opc.server import IOPC_ITEM_IO, IOPC_SERVER, OpcServer, ServerState
+from repro.opc.client import OpcClient
+
+__all__ = [
+    "IOPC_DATA_CALLBACK",
+    "IOPC_ITEM_IO",
+    "IOPC_SERVER",
+    "ItemDef",
+    "ItemNamespace",
+    "OpcClient",
+    "OpcGroup",
+    "OpcServer",
+    "OpcValue",
+    "Quality",
+    "ServerState",
+    "VT_BOOL",
+    "VT_BSTR",
+    "VT_I4",
+    "VT_R8",
+    "canonical_vt",
+]

@@ -1,0 +1,75 @@
+"""OPC value types: VARIANT tags, quality flags, timestamped values."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Any
+
+# VARIANT type tags (the subset industrial data uses).
+VT_I4 = "VT_I4"
+VT_R8 = "VT_R8"
+VT_BOOL = "VT_BOOL"
+VT_BSTR = "VT_BSTR"
+
+
+def canonical_vt(value: Any) -> str:
+    """The VARIANT tag a raw Python value maps to."""
+    if isinstance(value, bool):
+        return VT_BOOL
+    if isinstance(value, int):
+        return VT_I4
+    if isinstance(value, float):
+        return VT_R8
+    if isinstance(value, str):
+        return VT_BSTR
+    raise TypeError(f"no VARIANT mapping for {type(value).__name__}")
+
+
+class Quality(enum.Enum):
+    """OPC quality flags (major status + common sub-status)."""
+
+    GOOD = "good"
+    GOOD_LOCAL_OVERRIDE = "good:local-override"
+    UNCERTAIN = "uncertain"
+    UNCERTAIN_LAST_USABLE = "uncertain:last-usable"
+    BAD = "bad"
+    BAD_NOT_CONNECTED = "bad:not-connected"
+    BAD_DEVICE_FAILURE = "bad:device-failure"
+    BAD_COMM_FAILURE = "bad:comm-failure"
+    BAD_OUT_OF_SERVICE = "bad:out-of-service"
+
+    @property
+    def is_good(self) -> bool:
+        """Major status is GOOD."""
+        return self.value.startswith("good")
+
+    @property
+    def is_bad(self) -> bool:
+        """Major status is BAD."""
+        return self.value.startswith("bad")
+
+
+@dataclass(frozen=True)
+class OpcValue:
+    """A value with OPC quality and source timestamp."""
+
+    value: Any
+    quality: Quality = Quality.GOOD
+    timestamp: float = 0.0
+
+    def with_quality(self, quality: Quality) -> "OpcValue":
+        """Copy with a different quality flag."""
+        return OpcValue(value=self.value, quality=quality, timestamp=self.timestamp)
+
+    def as_wire(self) -> dict:
+        """Marshalable form for DCOM callbacks."""
+        return {"value": self.value, "quality": self.quality.value, "timestamp": self.timestamp}
+
+    @classmethod
+    def from_wire(cls, data: dict) -> "OpcValue":
+        """Inverse of :meth:`as_wire`."""
+        return cls(value=data["value"], quality=Quality(data["quality"]), timestamp=data["timestamp"])
+
+    def __repr__(self) -> str:
+        return f"OpcValue({self.value!r}, {self.quality.value}, t={self.timestamp})"

@@ -1,0 +1,43 @@
+"""Deterministic discrete-event simulation substrate.
+
+Everything in the OFTT reproduction — NT nodes, COM calls, message queues,
+OPC data flow, heartbeats, checkpoints — runs on this kernel so that every
+experiment is reproducible for a given seed and latencies are measured in
+simulated time.
+
+Public surface:
+
+* :class:`SimKernel` — the event loop (``schedule``, ``spawn``, ``run``).
+* :class:`Process` — a generator-based cooperative process.
+* Yieldables: :class:`Timeout`, :class:`Event`, :class:`AnyOf`,
+  :class:`AllOf`.
+* :class:`Interrupt` — raised inside a process that another interrupted.
+* :class:`Network`, :class:`NetNode`, :class:`Link` — simulated Ethernet.
+* :class:`RngStreams` — named, seeded random streams.
+* :class:`TraceLog` — structured trace of simulation events.
+"""
+
+from repro.simnet.kernel import Interrupt, Process, SimKernel
+from repro.simnet.events import AllOf, AnyOf, Event, Timeout
+from repro.simnet.random import RngStreams
+from repro.simnet.network import Link, Message, NetNode, Network
+from repro.simnet.partitions import PartitionController
+from repro.simnet.trace import TraceLog, TraceRecord
+
+__all__ = [
+    "AllOf",
+    "AnyOf",
+    "Event",
+    "Interrupt",
+    "Link",
+    "Message",
+    "NetNode",
+    "Network",
+    "PartitionController",
+    "Process",
+    "RngStreams",
+    "SimKernel",
+    "Timeout",
+    "TraceLog",
+    "TraceRecord",
+]

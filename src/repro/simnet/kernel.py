@@ -1,0 +1,267 @@
+"""The discrete-event simulation kernel.
+
+:class:`SimKernel` maintains a priority queue of timestamped events and a
+monotonically increasing simulated clock.  Work is expressed either as a
+plain scheduled callback (:meth:`SimKernel.schedule`) or as a cooperative
+:class:`Process` wrapping a generator that yields
+:mod:`repro.simnet.events` waitables.
+
+Determinism: events at equal timestamps run in insertion order (a strictly
+increasing sequence number breaks ties), and all randomness flows through
+:class:`repro.simnet.random.RngStreams`.  Two runs with the same seed
+produce identical traces.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, Generator, List, Optional, Tuple
+
+from repro.errors import SimError
+from repro.simnet.events import Timeout, Waitable
+
+
+class Interrupt(Exception):
+    """Raised inside a process generator when another process interrupts it."""
+
+    def __init__(self, cause: Any = None) -> None:
+        super().__init__(f"interrupted: {cause!r}")
+        self.cause = cause
+
+
+class _ScheduledCall:
+    """A callback armed at an absolute simulated time."""
+
+    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+
+    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
+        self.time = time
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the callback from running (idempotent)."""
+        self.cancelled = True
+
+    def __lt__(self, other: "_ScheduledCall") -> bool:
+        return (self.time, self.seq) < (other.time, other.seq)
+
+
+class Process(Waitable):
+    """A cooperative process driving a generator.
+
+    The process is itself a :class:`Waitable`: it fires with the
+    generator's return value when the generator finishes, so processes can
+    ``yield`` other processes to join them.
+    """
+
+    def __init__(self, kernel: "SimKernel", generator: Generator[Waitable, Any, Any], name: str = "") -> None:
+        super().__init__()
+        self.kernel = kernel
+        self.generator = generator
+        self.name = name or getattr(generator, "__name__", "process")
+        self.alive = True
+        self.error: Optional[BaseException] = None
+        self._waiting_on: Optional[Waitable] = None
+        self._pending_interrupt: Optional[Interrupt] = None
+
+    # -- lifecycle -------------------------------------------------------
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Raise :class:`Interrupt` inside the generator at its next step.
+
+        Interrupting a finished process is a no-op, matching the semantics
+        of signalling a dead thread.
+        """
+        if not self.alive:
+            return
+        self._pending_interrupt = Interrupt(cause)
+        # Detach from whatever we were waiting on and resume immediately.
+        self._waiting_on = None
+        self.kernel.schedule(0.0, self._step, None)
+
+    def kill(self) -> None:
+        """Terminate the process without running any more of its body.
+
+        Unlike :meth:`interrupt`, the generator gets no chance to clean up
+        via ``except Interrupt`` — this models an OS-level kill.  The
+        process fires with value ``None``.  A process may kill itself (a
+        thread tearing down its own process): the generator is then
+        abandoned at its next yield instead of closed in place.
+        """
+        if not self.alive:
+            return
+        self.alive = False
+        self._waiting_on = None
+        try:
+            self.generator.close()
+        except ValueError:
+            # "generator already executing": self-kill from inside the
+            # body.  _step() checks `alive` after each resume and will
+            # drop the generator at its next yield.
+            pass
+        if not self.fired:
+            self._fire(None)
+
+    # -- stepping --------------------------------------------------------
+
+    def _start(self) -> None:
+        self.kernel.schedule(0.0, self._step, None)
+
+    def _on_wait_fired(self, waitable: Waitable) -> None:
+        if self._waiting_on is waitable:
+            self._waiting_on = None
+            self._step(waitable.value)
+
+    def _step(self, send_value: Any) -> None:
+        if not self.alive:
+            return
+        if self._waiting_on is not None:
+            # A stale scheduled resume (e.g. cancelled interrupt path).
+            return
+        try:
+            if self._pending_interrupt is not None:
+                interrupt, self._pending_interrupt = self._pending_interrupt, None
+                target = self.generator.throw(interrupt)
+            else:
+                target = self.generator.send(send_value)
+        except StopIteration as stop:
+            self.alive = False
+            self._fire(stop.value)
+            return
+        except Interrupt:
+            # Generator chose not to handle the interrupt: it dies quietly.
+            self.alive = False
+            self._fire(None)
+            return
+        except BaseException as exc:  # noqa: BLE001 - surfaced via kernel policy
+            self.alive = False
+            self.error = exc
+            self.kernel._on_process_error(self, exc)
+            if not self.fired:
+                self._fire(None)
+            return
+        if not self.alive:
+            return  # killed itself (or was killed) while executing
+        self._wait_on(target)
+
+    def _wait_on(self, target: Waitable) -> None:
+        if not isinstance(target, Waitable):
+            raise SimError(f"process {self.name} yielded non-waitable {target!r}")
+        target._arm(self.kernel)
+        self._waiting_on = target
+        target.add_callback(self._on_wait_fired)
+
+    def __repr__(self) -> str:
+        state = "alive" if self.alive else "dead"
+        return f"Process({self.name}, {state})"
+
+
+class SimKernel:
+    """Event loop and simulated clock.
+
+    Parameters
+    ----------
+    on_error:
+        Policy for uncaught exceptions inside processes: ``"raise"``
+        (default; the exception propagates out of :meth:`run`) or
+        ``"record"`` (stored on :attr:`process_errors`, simulation
+        continues — used by fault-injection campaigns where application
+        crashes are the point).
+    """
+
+    def __init__(self, on_error: str = "raise") -> None:
+        if on_error not in ("raise", "record"):
+            raise SimError(f"unknown error policy {on_error!r}")
+        self.now: float = 0.0
+        self.on_error = on_error
+        self.process_errors: List[Tuple[Process, BaseException]] = []
+        self._queue: List[_ScheduledCall] = []
+        self._seq = 0
+        self._raised: Optional[BaseException] = None
+        self._running = False
+
+    # -- scheduling ------------------------------------------------------
+
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> _ScheduledCall:
+        """Run *callback(*args)* after *delay* simulated time units."""
+        if delay < 0:
+            raise SimError(f"negative delay: {delay}")
+        self._seq += 1
+        call = _ScheduledCall(self.now + delay, self._seq, callback, args)
+        heapq.heappush(self._queue, call)
+        return call
+
+    def spawn(self, generator: Generator[Waitable, Any, Any], name: str = "") -> Process:
+        """Create and start a :class:`Process` around *generator*."""
+        process = Process(self, generator, name=name)
+        process._start()
+        return process
+
+    def timeout(self, delay: float, value: Any = None) -> Timeout:
+        """Convenience constructor for a :class:`Timeout` yieldable."""
+        return Timeout(delay, value)
+
+    # -- execution -------------------------------------------------------
+
+    def run(self, until: Optional[float] = None) -> float:
+        """Execute events until the queue drains or the clock passes *until*.
+
+        Returns the final simulated time.  With ``until`` set, the clock is
+        advanced exactly to ``until`` even if the last event fired earlier,
+        so back-to-back ``run`` calls tile the timeline predictably.
+        """
+        if self._running:
+            raise SimError("kernel is not reentrant")
+        self._running = True
+        try:
+            while self._queue:
+                call = self._queue[0]
+                if until is not None and call.time > until:
+                    break
+                heapq.heappop(self._queue)
+                if call.cancelled:
+                    continue
+                if call.time < self.now:
+                    raise SimError("time went backwards")
+                self.now = call.time
+                call.callback(*call.args)
+                if self._raised is not None:
+                    error, self._raised = self._raised, None
+                    raise error
+            if until is not None and self.now < until:
+                self.now = until
+        finally:
+            self._running = False
+        return self.now
+
+    def step(self) -> bool:
+        """Execute the single next event.  Returns False if queue is empty."""
+        while self._queue:
+            call = heapq.heappop(self._queue)
+            if call.cancelled:
+                continue
+            self.now = call.time
+            call.callback(*call.args)
+            if self._raised is not None:
+                error, self._raised = self._raised, None
+                raise error
+            return True
+        return False
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled (non-cancelled) calls still queued."""
+        return sum(1 for call in self._queue if not call.cancelled)
+
+    # -- error policy ----------------------------------------------------
+
+    def _on_process_error(self, process: Process, error: BaseException) -> None:
+        self.process_errors.append((process, error))
+        if self.on_error == "raise":
+            self._raised = error
+
+    def __repr__(self) -> str:
+        return f"SimKernel(now={self.now}, pending={self.pending})"

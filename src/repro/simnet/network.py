@@ -1,0 +1,289 @@
+"""Simulated Ethernet / TCP-IP network.
+
+The paper's reference configurations pair redundant computers "via one or
+dual Ethernet networks" (Figure 1).  This module models:
+
+* :class:`Network` — the whole fabric: segments, nodes, delivery.
+* :class:`Link` — a LAN segment with latency, jitter and loss.
+* :class:`NetNode` — a host with one NIC per attached segment and
+  port-based receive dispatch (a tiny UDP-like service model).
+
+Failure realism: a powered-off node neither sends nor receives; a NIC can
+be taken down individually (dual-network experiments); segments can be
+partitioned via :class:`repro.simnet.partitions.PartitionController`; and
+messages may be dropped by per-segment loss probability.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.errors import SimError
+from repro.simnet.kernel import SimKernel
+from repro.simnet.random import RngStreams
+from repro.simnet.trace import TraceLog
+
+Handler = Callable[["Message"], None]
+
+
+@dataclass
+class Message:
+    """A datagram on the simulated network."""
+
+    source: str
+    dest: str
+    port: str
+    payload: Any
+    size: int = 128
+    link: str = ""
+    sent_at: float = 0.0
+    delivered_at: float = 0.0
+
+
+class Link:
+    """A LAN segment.  All attached NICs can reach each other through it."""
+
+    def __init__(
+        self,
+        name: str,
+        latency: float = 0.5,
+        jitter: float = 0.1,
+        loss: float = 0.0,
+        bandwidth: float = 0.0,
+    ) -> None:
+        """
+        Parameters
+        ----------
+        latency:
+            Base one-way delay (simulated ms).
+        jitter:
+            Uniform extra delay in ``[0, jitter]``.
+        loss:
+            Probability a frame is silently dropped.
+        bandwidth:
+            Bytes per simulated ms; 0 means infinite (no serialisation
+            delay).  When set, delay grows by ``size / bandwidth``.
+        """
+        self.name = name
+        self.latency = latency
+        self.jitter = jitter
+        self.loss = loss
+        self.bandwidth = bandwidth
+        self.up = True
+        self.members: List[str] = []
+
+    def delay_for(self, size: int, rng) -> float:
+        """Sample the one-way delay for a frame of *size* bytes."""
+        delay = self.latency
+        if self.jitter > 0:
+            delay += rng.uniform(0.0, self.jitter)
+        if self.bandwidth > 0:
+            delay += size / self.bandwidth
+        return delay
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"Link({self.name}, {state}, members={self.members})"
+
+
+class NetNode:
+    """A host on the network.
+
+    Receive dispatch is by *port* (a string naming a service, e.g.
+    ``"oftt.heartbeat"`` or ``"msq.transport"``).
+    """
+
+    def __init__(self, network: "Network", name: str) -> None:
+        self.network = network
+        self.name = name
+        self.powered = True
+        self.nics: Dict[str, bool] = {}  # link name -> nic up?
+        self._handlers: Dict[str, Handler] = {}
+
+    # -- service registration ---------------------------------------------
+
+    def bind(self, port: str, handler: Handler) -> None:
+        """Register *handler* for datagrams addressed to *port*."""
+        self._handlers[port] = handler
+
+    def unbind(self, port: str) -> None:
+        """Remove the handler for *port* (idempotent)."""
+        self._handlers.pop(port, None)
+
+    def handler_for(self, port: str) -> Optional[Handler]:
+        """The bound handler, or None if the port is closed."""
+        return self._handlers.get(port)
+
+    # -- NIC control --------------------------------------------------------
+
+    def nic_up(self, link_name: str) -> None:
+        """Re-enable the NIC attached to *link_name*."""
+        if link_name not in self.nics:
+            raise SimError(f"{self.name} has no NIC on {link_name}")
+        self.nics[link_name] = True
+
+    def nic_down(self, link_name: str) -> None:
+        """Disable the NIC attached to *link_name*."""
+        if link_name not in self.nics:
+            raise SimError(f"{self.name} has no NIC on {link_name}")
+        self.nics[link_name] = False
+
+    def reachable_links(self) -> List[str]:
+        """Names of links this node can currently use."""
+        if not self.powered:
+            return []
+        return [name for name, up in self.nics.items() if up]
+
+    def send(self, dest: str, port: str, payload: Any, size: int = 128) -> bool:
+        """Convenience wrapper over :meth:`Network.send`."""
+        return self.network.send(self.name, dest, port, payload, size=size)
+
+    def __repr__(self) -> str:
+        state = "on" if self.powered else "off"
+        return f"NetNode({self.name}, {state}, nics={self.nics})"
+
+
+class Network:
+    """The network fabric: creates nodes/links and routes datagrams.
+
+    Redundant paths: when source and destination share several usable
+    segments, the message travels the first healthy one (deterministic
+    order by link name), which models the paper's dual-Ethernet pairing —
+    taking one NIC or segment down leaves connectivity intact.
+    """
+
+    def __init__(self, kernel: SimKernel, rng: Optional[RngStreams] = None, trace: Optional[TraceLog] = None) -> None:
+        self.kernel = kernel
+        self.rng = (rng or RngStreams(0)).stream("network")
+        self.trace = trace if trace is not None else TraceLog(clock=lambda: kernel.now)
+        self.nodes: Dict[str, NetNode] = {}
+        self.links: Dict[str, Link] = {}
+        self.partition_of: Dict[str, Dict[str, int]] = {}  # link -> node -> group
+        self.delivered_count = 0
+        self.dropped_count = 0
+        # TCP-like per-channel ordering: frames between the same
+        # (source, dest, port) never overtake each other, even under
+        # jitter.  Loss still re-orders *content* at higher layers.
+        self._channel_clock: Dict[Any, float] = {}
+
+    # -- topology -----------------------------------------------------------
+
+    def add_node(self, name: str) -> NetNode:
+        """Create a node (error if the name is taken)."""
+        if name in self.nodes:
+            raise SimError(f"duplicate node {name}")
+        node = NetNode(self, name)
+        self.nodes[name] = node
+        return node
+
+    def add_link(self, name: str, **kwargs: Any) -> Link:
+        """Create a LAN segment (error if the name is taken)."""
+        if name in self.links:
+            raise SimError(f"duplicate link {name}")
+        link = Link(name, **kwargs)
+        self.links[name] = link
+        return link
+
+    def attach(self, node_name: str, link_name: str) -> None:
+        """Plug a node's NIC into a segment."""
+        node = self.nodes[node_name]
+        link = self.links[link_name]
+        if link_name in node.nics:
+            raise SimError(f"{node_name} already attached to {link_name}")
+        node.nics[link_name] = True
+        link.members.append(node_name)
+
+    # -- partitions (used by PartitionController) ----------------------------
+
+    def set_partition(self, link_name: str, groups: Dict[str, int]) -> None:
+        """Assign nodes on *link_name* to partition groups.
+
+        Nodes in different groups cannot exchange frames on that segment.
+        An empty mapping heals the partition.
+        """
+        if link_name not in self.links:
+            raise SimError(f"no such link {link_name}")
+        self.partition_of[link_name] = dict(groups)
+
+    def _partitioned(self, link_name: str, a: str, b: str) -> bool:
+        groups = self.partition_of.get(link_name)
+        if not groups:
+            return False
+        return groups.get(a, 0) != groups.get(b, 0)
+
+    # -- delivery -------------------------------------------------------------
+
+    def usable_path(self, source: str, dest: str) -> Optional[Link]:
+        """First healthy segment shared by *source* and *dest*, else None."""
+        src = self.nodes.get(source)
+        dst = self.nodes.get(dest)
+        if src is None or dst is None or not src.powered or not dst.powered:
+            return None
+        src_links = set(src.reachable_links())
+        dst_links = set(dst.reachable_links())
+        for link_name in sorted(src_links & dst_links):
+            link = self.links[link_name]
+            if link.up and not self._partitioned(link_name, source, dest):
+                return link
+        return None
+
+    def send(self, source: str, dest: str, port: str, payload: Any, size: int = 128) -> bool:
+        """Transmit a datagram.
+
+        Returns True if the frame was put on the wire (it may still be
+        lost), False if no usable path exists right now.  Delivery is
+        best-effort datagram semantics; reliability is built above (MSMQ,
+        DCOM RPC retries).
+        """
+        link = self.usable_path(source, dest)
+        if link is None:
+            self.dropped_count += 1
+            self.trace.emit("net", source, "send-failed", dest=dest, port=port)
+            return False
+        if link.loss > 0 and self.rng.random() < link.loss:
+            self.dropped_count += 1
+            self.trace.emit("net", source, "frame-lost", dest=dest, port=port, link=link.name)
+            return True
+        message = Message(
+            source=source,
+            dest=dest,
+            port=port,
+            payload=payload,
+            size=size,
+            link=link.name,
+            sent_at=self.kernel.now,
+        )
+        delay = link.delay_for(size, self.rng)
+        channel = (source, dest, port)
+        deliver_at = max(self.kernel.now + delay, self._channel_clock.get(channel, 0.0))
+        self._channel_clock[channel] = deliver_at
+        self.kernel.schedule(deliver_at - self.kernel.now, self._deliver, message)
+        return True
+
+    def _deliver(self, message: Message) -> None:
+        node = self.nodes.get(message.dest)
+        if node is None or not node.powered:
+            self.dropped_count += 1
+            self.trace.emit("net", message.dest, "deliver-failed", port=message.port, reason="node-down")
+            return
+        # Receiver NIC may have gone down in flight.
+        if not node.nics.get(message.link, False):
+            self.dropped_count += 1
+            self.trace.emit("net", message.dest, "deliver-failed", port=message.port, reason="nic-down")
+            return
+        if self._partitioned(message.link, message.source, message.dest):
+            self.dropped_count += 1
+            self.trace.emit("net", message.dest, "deliver-failed", port=message.port, reason="partition")
+            return
+        handler = node.handler_for(message.port)
+        if handler is None:
+            self.dropped_count += 1
+            self.trace.emit("net", message.dest, "deliver-failed", port=message.port, reason="port-closed")
+            return
+        message.delivered_at = self.kernel.now
+        self.delivered_count += 1
+        handler(message)
+
+    def __repr__(self) -> str:
+        return f"Network(nodes={sorted(self.nodes)}, links={sorted(self.links)})"

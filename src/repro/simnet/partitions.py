@@ -1,0 +1,67 @@
+"""Network partition orchestration.
+
+The paper's startup logic (§3.2) exists to "minimize the impact of network
+failures (i.e., both nodes becomes the primary)".  Experiments exercising
+that logic need controlled partitions; this controller applies and heals
+them, optionally on a schedule.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.simnet.kernel import SimKernel
+from repro.simnet.network import Network
+
+
+class PartitionController:
+    """Creates, schedules and heals partitions on a :class:`Network`."""
+
+    def __init__(self, network: Network, kernel: Optional[SimKernel] = None) -> None:
+        self.network = network
+        self.kernel = kernel or network.kernel
+        self.history: List[Tuple[float, str, str]] = []  # (time, link, action)
+
+    def split(self, link_name: str, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Partition *link_name* so side_a and side_b cannot communicate."""
+        groups: Dict[str, int] = {}
+        for node in side_a:
+            groups[node] = 0
+        for node in side_b:
+            groups[node] = 1
+        self.network.set_partition(link_name, groups)
+        self.history.append((self.kernel.now, link_name, "split"))
+        self.network.trace.emit("net", link_name, "partition", groups=groups)
+
+    def isolate(self, link_name: str, lonely: str) -> None:
+        """Cut *lonely* off from every other member of the segment."""
+        others = [m for m in self.network.links[link_name].members if m != lonely]
+        self.split(link_name, [lonely], others)
+
+    def heal(self, link_name: str) -> None:
+        """Remove any partition on *link_name*."""
+        self.network.set_partition(link_name, {})
+        self.history.append((self.kernel.now, link_name, "heal"))
+        self.network.trace.emit("net", link_name, "partition-healed")
+
+    def split_all(self, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Partition every segment the same way (full network split)."""
+        side_a = list(side_a)
+        side_b = list(side_b)
+        for link_name in self.network.links:
+            self.split(link_name, side_a, side_b)
+
+    def heal_all(self) -> None:
+        """Heal every segment."""
+        for link_name in self.network.links:
+            self.heal(link_name)
+
+    def schedule_split(self, at: float, link_name: str, side_a: Iterable[str], side_b: Iterable[str]) -> None:
+        """Apply :meth:`split` at absolute simulated time *at*."""
+        delay = max(0.0, at - self.kernel.now)
+        self.kernel.schedule(delay, self.split, link_name, list(side_a), list(side_b))
+
+    def schedule_heal(self, at: float, link_name: str) -> None:
+        """Apply :meth:`heal` at absolute simulated time *at*."""
+        delay = max(0.0, at - self.kernel.now)
+        self.kernel.schedule(delay, self.heal, link_name)

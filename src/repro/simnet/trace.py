@@ -1,0 +1,98 @@
+"""Structured trace log for simulation runs.
+
+Every layer appends :class:`TraceRecord` entries (timestamped, categorised,
+keyed by component).  Tests and benchmarks query the trace to assert on
+*sequences* of behaviour (e.g. "backup promoted exactly once, after the
+heartbeat timeout elapsed") rather than only on final state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterator, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceRecord:
+    """A single trace entry."""
+
+    time: float
+    category: str
+    component: str
+    event: str
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def __str__(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return f"[{self.time:12.3f}] {self.category:<10} {self.component:<24} {self.event} {extras}".rstrip()
+
+
+class TraceLog:
+    """Append-only log of :class:`TraceRecord` entries with query helpers."""
+
+    def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
+        self.records: List[TraceRecord] = []
+        self._clock = clock
+        self._subscribers: List[Callable[[TraceRecord], None]] = []
+
+    def bind_clock(self, clock: Callable[[], float]) -> None:
+        """Attach the simulated clock used to timestamp records."""
+        self._clock = clock
+
+    def subscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Invoke *callback* for every future record (live monitoring)."""
+        self._subscribers.append(callback)
+
+    def emit(self, category: str, component: str, event: str, **detail: Any) -> TraceRecord:
+        """Append a record stamped with the current simulated time."""
+        time = self._clock() if self._clock is not None else 0.0
+        record = TraceRecord(time=time, category=category, component=component, event=event, detail=dict(detail))
+        self.records.append(record)
+        for callback in self._subscribers:
+            callback(record)
+        return record
+
+    # -- queries ---------------------------------------------------------
+
+    def select(
+        self,
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> List[TraceRecord]:
+        """Filter records by any combination of fields and a time window."""
+        return [
+            record
+            for record in self.records
+            if (category is None or record.category == category)
+            and (component is None or record.component == component)
+            and (event is None or record.event == event)
+            and since <= record.time <= until
+        ]
+
+    def first(self, **kwargs: Any) -> Optional[TraceRecord]:
+        """First record matching :meth:`select` filters, or None."""
+        matches = self.select(**kwargs)
+        return matches[0] if matches else None
+
+    def last(self, **kwargs: Any) -> Optional[TraceRecord]:
+        """Last record matching :meth:`select` filters, or None."""
+        matches = self.select(**kwargs)
+        return matches[-1] if matches else None
+
+    def count(self, **kwargs: Any) -> int:
+        """Number of records matching :meth:`select` filters."""
+        return len(self.select(**kwargs))
+
+    def __iter__(self) -> Iterator[TraceRecord]:
+        return iter(self.records)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump(self, limit: Optional[int] = None) -> str:
+        """Human-readable rendering of (the tail of) the trace."""
+        records = self.records if limit is None else self.records[-limit:]
+        return "\n".join(str(record) for record in records)

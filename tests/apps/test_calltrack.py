@@ -1,0 +1,134 @@
+"""Unit tests for the Call Track application."""
+
+from repro.apps.calltrack import STATE_VARS, CallTrackApp
+from repro.core.cluster import OfttPair
+from repro.core.config import OfttConfig
+
+from tests.conftest import make_world
+
+
+def make_calltrack(save_on_end=True):
+    world = make_world()
+    for name in ("alpha", "beta"):
+        world.add_machine(name)
+    pair = OfttPair(
+        network=world.network,
+        systems=dict(world.systems),
+        config=OfttConfig(),
+        app_factory=lambda: CallTrackApp(unit="test", save_on_end=save_on_end),
+        unit="test",
+        trace=world.trace,
+    )
+    pair.start()
+    pair.settle()
+    world.pair = pair
+    return world, pair.apps[pair.primary_node()]
+
+
+def event(sequence, kind="start", busy=2, line=1, caller=0, time=0.0):
+    return {
+        "kind": kind,
+        "caller": caller,
+        "line": line,
+        "time": time,
+        "busy_lines": busy,
+        "sequence": sequence,
+    }
+
+
+def test_event_processing_updates_state():
+    world, app = make_calltrack()
+    app.process_event(event(1, kind="start", busy=1))
+    app.process_event(event(2, kind="end", busy=0, line=1))
+    app.process_event(event(3, kind="blocked", busy=5, line=-1))
+    state = app.state()
+    assert state["total_calls"] == 1
+    assert state["blocked_calls"] == 1
+    assert state["events_processed"] == 3
+    assert app.histogram()[1] == 1
+    assert app.histogram()[0] == 1
+    assert app.histogram()[5] == 1
+    assert state["line_seconds"]["1"] == 1.0
+
+
+def test_duplicates_dropped_in_any_order():
+    world, app = make_calltrack()
+    assert app.process_event(event(1))
+    assert app.process_event(event(3))
+    assert not app.process_event(event(1))  # duplicate below window
+    assert app.process_event(event(2))  # fills the gap
+    assert not app.process_event(event(2))  # now duplicate
+    assert not app.process_event(event(3))
+    state = app.state()
+    assert state["events_processed"] == 3
+    assert state["duplicates_dropped"] == 3
+    assert state["seen_floor"] == 3
+    assert state["seen_recent"] == []
+
+
+def test_seen_window_compacts_contiguous_prefix():
+    world, app = make_calltrack()
+    for sequence in (2, 4, 1):
+        app.process_event(event(sequence))
+    state = app.state()
+    assert state["seen_floor"] == 2
+    assert state["seen_recent"] == [4]
+
+
+def test_events_arriving_via_queue():
+    world, app = make_calltrack()
+    primary = world.pair.primary_node()
+    other = [n for n in ("alpha", "beta") if n != primary][0]
+    qmgr = world.pair.contexts[other].qmgr
+    from repro.core.diverter import inbox_queue_name
+
+    qmgr.send(primary, inbox_queue_name("test"), event(1))
+    world.run_for(500.0)
+    assert app.events_processed() == 1
+
+
+def test_event_based_save_on_call_end():
+    world, app = make_calltrack(save_on_end=True)
+    checkpoints_before = app.api.ftim.checkpoints_taken
+    app.process_event(event(1, kind="start"))
+    assert app.api.ftim.checkpoints_taken == checkpoints_before  # no save on start
+    app.process_event(event(2, kind="end", line=1))
+    assert app.api.ftim.checkpoints_taken == checkpoints_before + 1
+
+
+def test_no_event_saves_when_disabled():
+    world, app = make_calltrack(save_on_end=False)
+    before = app.api.ftim.checkpoints_taken
+    app.process_event(event(1, kind="end", line=0))
+    assert app.api.ftim.checkpoints_taken == before
+
+
+def test_state_restores_across_relaunch():
+    world, app = make_calltrack()
+    for sequence in range(1, 6):
+        app.process_event(event(sequence, kind="end", line=0))
+    image = {"globals": app.api.ftim.capture().image["globals"]}
+    app.stop()
+    app.launch(image)
+    restored = app.state()
+    assert restored["events_processed"] == 5
+    assert restored["seen_floor"] == 5
+    # Replaying old events after restore is harmless.
+    assert not app.process_event(event(3))
+
+
+def test_render_histogram_display():
+    world, app = make_calltrack()
+    for sequence, busy in ((1, 0), (2, 1), (3, 1), (4, 5)):
+        app.process_event(event(sequence, busy=busy))
+    rendered = app.render_histogram(width=10)
+    assert "0 busy" in rendered and "5 busy" in rendered
+    assert "4 events" in rendered
+    world.run_for(1_000.0)  # display refresh thread runs
+    assert app.process.address_space.read("display")
+
+
+def test_state_vars_all_designated():
+    world, app = make_calltrack()
+    checkpoint = app.api.ftim.capture()
+    assert set(checkpoint.image["globals"]) == set(STATE_VARS)

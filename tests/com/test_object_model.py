@@ -1,0 +1,152 @@
+"""Unit tests for GUIDs, HRESULTs, interfaces and the COM object model."""
+
+import pytest
+
+from repro.com.guids import GUID, guid_from_name
+from repro.com.hresult import (
+    E_FAIL,
+    E_NOINTERFACE,
+    RPC_E_TIMEOUT,
+    S_FALSE,
+    S_OK,
+    failed,
+    hresult_name,
+    succeeded,
+)
+from repro.com.interfaces import IUNKNOWN, declare_interface
+from repro.com.object import ComObject
+from repro.errors import ComError
+
+ICOUNTER = declare_interface("ICounter", ("Increment", "Value"))
+IRESET = declare_interface("IReset", ("Reset",), base=ICOUNTER)
+
+
+class Counter(ComObject):
+    IMPLEMENTS = (ICOUNTER,)
+
+    def __init__(self):
+        super().__init__()
+        self.count = 0
+        self.released = False
+
+    def Increment(self):
+        self.count += 1
+        return self.count
+
+    def Value(self):
+        return self.count
+
+    def final_release(self):
+        self.released = True
+
+
+# -- GUIDs -------------------------------------------------------------------
+
+
+def test_guid_deterministic_from_name():
+    assert guid_from_name("x") == guid_from_name("x")
+    assert guid_from_name("x") != guid_from_name("y")
+
+
+def test_guid_string_format_and_parse_roundtrip():
+    guid = guid_from_name("test")
+    text = str(guid)
+    assert text.startswith("{") and text.endswith("}")
+    assert len(text) == 38
+    assert GUID.parse(text) == guid
+    assert GUID.parse(text.strip("{}")) == guid
+
+
+def test_guid_parse_rejects_malformed():
+    with pytest.raises(ValueError):
+        GUID.parse("{not-a-guid}")
+
+
+def test_guid_hashable():
+    table = {guid_from_name("a"): 1}
+    assert table[guid_from_name("a")] == 1
+
+
+# -- HRESULTs -----------------------------------------------------------------
+
+
+def test_succeeded_failed_macros():
+    assert succeeded(S_OK)
+    assert succeeded(S_FALSE)
+    assert failed(E_FAIL)
+    assert failed(RPC_E_TIMEOUT)
+
+
+def test_hresult_names():
+    assert hresult_name(S_OK) == "S_OK"
+    assert hresult_name(E_NOINTERFACE) == "E_NOINTERFACE"
+    assert hresult_name(0x12345678) == "0x12345678"
+
+
+# -- interfaces ------------------------------------------------------------------
+
+
+def test_interface_method_inheritance():
+    assert IRESET.has_method("Reset")
+    assert IRESET.has_method("Increment")  # from base
+    assert not ICOUNTER.has_method("Reset")
+    assert IRESET.all_methods() == ("Increment", "Value", "Reset")
+
+
+def test_interface_iids_distinct():
+    assert ICOUNTER.iid != IRESET.iid != IUNKNOWN.iid
+
+
+# -- ComObject ----------------------------------------------------------------------
+
+
+def test_query_interface_success_adds_reference():
+    obj = Counter()
+    same = obj.QueryInterface(ICOUNTER.iid)
+    assert same is obj
+    assert obj.refcount == 2
+
+
+def test_query_interface_iunknown_always_supported():
+    obj = Counter()
+    assert obj.QueryInterface(IUNKNOWN.iid) is obj
+
+
+def test_query_interface_unknown_iid_raises_e_nointerface():
+    obj = Counter()
+    with pytest.raises(ComError) as excinfo:
+        obj.QueryInterface(IRESET.iid)
+    assert excinfo.value.hresult == E_NOINTERFACE
+
+
+def test_refcount_lifecycle_and_final_release():
+    obj = Counter()
+    assert obj.AddRef() == 2
+    assert obj.Release() == 1
+    assert not obj.released
+    assert obj.Release() == 0
+    assert obj.released
+    assert obj.destroyed
+
+
+def test_use_after_destroy_rejected():
+    obj = Counter()
+    obj.Release()
+    with pytest.raises(ComError):
+        obj.AddRef()
+    with pytest.raises(ComError):
+        obj.Release()
+
+
+def test_find_interface_by_method():
+    obj = Counter()
+    assert obj.find_interface("Increment") is ICOUNTER
+    assert obj.find_interface("QueryInterface") is IUNKNOWN
+    assert obj.find_interface("Nothing") is None
+
+
+def test_supports():
+    obj = Counter()
+    assert obj.supports(ICOUNTER.iid)
+    assert obj.supports(IUNKNOWN.iid)
+    assert not obj.supports(IRESET.iid)

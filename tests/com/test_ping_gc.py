@@ -1,0 +1,126 @@
+"""Unit tests for the DCOM ping (distributed GC) machinery and the OPC
+group collection built on it."""
+
+from repro.com.runtime import ComRuntime
+from repro.opc.client import OpcClient
+from repro.opc.group import OpcGroup
+from repro.opc.server import OpcServer
+
+from tests.conftest import make_world
+from tests.com.test_dcom import Calc
+
+
+def make_env():
+    world = make_world()
+    server_sys = world.add_machine("server")
+    client_sys = world.add_machine("client")
+    return world, ComRuntime(server_sys, world.network), ComRuntime(client_sys, world.network)
+
+
+def ping(world, exporter, objref):
+    outcome = {}
+
+    def check():
+        result = yield exporter.check_liveness(objref)
+        outcome["result"] = result
+
+    world.kernel.spawn(check())
+    world.run_for(2_000.0)
+    return outcome["result"]
+
+
+def test_ping_alive_export():
+    world, server_rt, client_rt = make_env()
+    objref = server_rt.export(Calc(), label="calc")
+    result = ping(world, client_rt.exporter, objref)
+    assert result.ok and result.value is True
+
+
+def test_ping_revoked_export_reports_dead():
+    world, server_rt, client_rt = make_env()
+    objref = server_rt.export(Calc())
+    server_rt.exporter.revoke(objref)
+    result = ping(world, client_rt.exporter, objref)
+    assert result.ok and result.value is False
+
+
+def test_ping_dead_process_reports_dead():
+    world, server_rt, client_rt = make_env()
+    host = world.systems["server"].create_process("host")
+    host.create_thread("main", dynamic=False)
+    host.start()
+    objref = server_rt.export(Calc(), process=host)
+    host.kill()
+    result = ping(world, client_rt.exporter, objref)
+    assert result.ok and result.value is False
+
+
+def test_ping_dead_node_times_out_as_failure():
+    world, server_rt, client_rt = make_env()
+    objref = server_rt.export(Calc())
+    world.systems["server"].power_off()
+    result = ping(world, client_rt.exporter, objref)
+    assert not result.ok
+
+
+def test_group_gc_after_client_process_death():
+    world, server_rt, client_rt = make_env()
+    server = OpcServer(server_rt, "OPC.G.1")
+    server.namespace.define_simple("a", 0.0)
+    server_ref = server_rt.export(server)
+
+    client_process = world.systems["client"].create_process("opc-client")
+    client_process.create_thread("main", dynamic=False)
+    client_process.start()
+    client = OpcClient(client_rt, "c", process=client_process)
+    received = []
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        group = yield from client.add_group("g", update_rate=50.0)
+        yield from group.add_items(["a"])
+        group.set_callback(lambda name, batch: received.append(batch))
+
+    world.kernel.spawn(use())
+    world.run_for(2_000.0)
+    assert "g" in server.groups
+    server.update_item("a", 1.0)
+    world.run_for(500.0)
+    assert received  # subscription worked
+
+    client_process.kill()
+    world.run_for(OpcGroup.PING_PERIOD * (OpcGroup.PING_STRIKES + 2))
+    assert "g" not in server.groups  # collected
+
+
+def test_group_not_collected_while_client_lives():
+    world, server_rt, client_rt = make_env()
+    server = OpcServer(server_rt, "OPC.G.1")
+    server.namespace.define_simple("a", 0.0)
+    server_ref = server_rt.export(server)
+    client_process = world.systems["client"].create_process("opc-client")
+    client_process.create_thread("main", dynamic=False)
+    client_process.start()
+    client = OpcClient(client_rt, "c", process=client_process)
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        group = yield from client.add_group("g", update_rate=50.0)
+        yield from group.add_items(["a"])
+        group.set_callback(lambda name, batch: None)
+
+    world.kernel.spawn(use())
+    world.run_for(OpcGroup.PING_PERIOD * 5)
+    assert "g" in server.groups
+
+
+def test_local_sink_groups_never_pinged():
+    world, server_rt, _client_rt = make_env()
+    server = OpcServer(server_rt, "OPC.G.1")
+    server.namespace.define_simple("a", 0.0)
+    group = server.AddGroup("g")
+    group.AddItems(["a"])
+    group.SetDataCallback(lambda name, batch: None)
+    world.run_for(OpcGroup.PING_PERIOD * 4)
+    assert not group.collected
+    assert "g" in server.groups

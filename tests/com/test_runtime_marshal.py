@@ -1,0 +1,155 @@
+"""Unit tests for class factories, the COM runtime, and marshaling."""
+
+import pytest
+
+from repro.com.factory import ClassFactory
+from repro.com.guids import guid_from_name
+from repro.com.interfaces import declare_interface
+from repro.com.marshal import ObjRef, estimate_wire_size, marshal_value, unmarshal_value
+from repro.com.object import ComObject
+from repro.com.runtime import ComRuntime
+from repro.errors import ComError
+
+from tests.conftest import make_world
+
+IECHO = declare_interface("IEcho", ("Echo",))
+
+
+class Echo(ComObject):
+    IMPLEMENTS = (IECHO,)
+
+    def Echo(self, value):
+        return value
+
+
+def make_runtime():
+    world = make_world()
+    system = world.add_machine("host")
+    return world, ComRuntime(system, world.network)
+
+
+# -- factory ------------------------------------------------------------------
+
+
+def test_factory_creates_instances_and_counts():
+    factory = ClassFactory(guid_from_name("clsid"), Echo, server_name="Echo")
+    first = factory.CreateInstance()
+    second = factory.CreateInstance()
+    assert first is not second
+    assert factory.instances_created == 2
+
+
+def test_factory_rejects_non_com_producer():
+    factory = ClassFactory(guid_from_name("clsid"), lambda: object())
+    with pytest.raises(ComError):
+        factory.CreateInstance()
+
+
+def test_factory_lock_server():
+    factory = ClassFactory(guid_from_name("clsid"), Echo)
+    factory.LockServer(True)
+    assert factory.locked
+    factory.LockServer(False)
+    assert not factory.locked
+
+
+# -- runtime -----------------------------------------------------------------------
+
+
+def test_register_and_create_by_progid():
+    world, runtime = make_runtime()
+    runtime.register_class("Test.Echo", Echo)
+    instance = runtime.create_instance("Test.Echo")
+    assert isinstance(instance, Echo)
+
+
+def test_register_mirrors_into_nt_registry():
+    world, runtime = make_runtime()
+    clsid = runtime.register_class("Test.Echo", Echo)
+    registry = runtime.system.registry
+    assert registry.get_value(f"CLSID\\{clsid}", "ProgID") == "Test.Echo"
+    assert registry.get_value("ProgID\\Test.Echo", "CLSID") == str(clsid)
+
+
+def test_create_by_clsid():
+    world, runtime = make_runtime()
+    clsid = runtime.register_class("Test.Echo", Echo)
+    assert isinstance(runtime.create_instance(clsid), Echo)
+
+
+def test_unregister_removes_class_and_registry_keys():
+    world, runtime = make_runtime()
+    clsid = runtime.register_class("Test.Echo", Echo)
+    runtime.unregister_class("Test.Echo")
+    with pytest.raises(ComError):
+        runtime.create_instance("Test.Echo")
+    assert not runtime.system.registry.has_key(f"CLSID\\{clsid}")
+
+
+def test_unknown_progid_rejected():
+    world, runtime = make_runtime()
+    with pytest.raises(ComError):
+        runtime.create_instance("No.Such.Class")
+    with pytest.raises(ComError):
+        runtime.unregister_class("No.Such.Class")
+
+
+# -- marshaling ----------------------------------------------------------------------
+
+
+def test_marshal_plain_data_roundtrip():
+    value = {"a": [1, 2.5, "s", None, True], "b": {"nested": (1, 2)}}
+    copied = marshal_value(value)
+    assert copied == {"a": [1, 2.5, "s", None, True], "b": {"nested": (1, 2)}}
+
+
+def test_marshal_deep_copies():
+    inner = [1, 2]
+    copied = marshal_value({"list": inner})
+    inner.append(3)
+    assert copied["list"] == [1, 2]
+
+
+def test_marshal_rejects_arbitrary_objects():
+    class Custom:
+        pass
+
+    with pytest.raises(ComError):
+        marshal_value(Custom())
+    with pytest.raises(ComError):
+        marshal_value({"ok": Custom()})
+
+
+def test_marshal_rejects_exotic_dict_keys():
+    with pytest.raises(ComError):
+        marshal_value({(1, 2): "tuple key"})
+
+
+def test_marshal_rejects_excessive_depth():
+    value = current = []
+    for _ in range(64):
+        nested = []
+        current.append(nested)
+        current = nested
+    with pytest.raises(ComError):
+        marshal_value(value)
+
+
+def test_objref_marshalable_and_supports():
+    ref = ObjRef(node="n", oid=1, iids=(IECHO.iid,), label="echo")
+    copied = marshal_value({"ref": ref})
+    assert copied["ref"] == ref
+    assert ref.supports(IECHO.iid)
+
+
+def test_wire_size_grows_with_payload():
+    small = estimate_wire_size({"a": 1})
+    large = estimate_wire_size({"a": "x" * 10_000})
+    assert large > small + 9_000
+
+
+def test_unmarshal_is_deep_copy():
+    original = {"k": [1]}
+    received = unmarshal_value(original)
+    original["k"].append(2)
+    assert received == {"k": [1]}

@@ -1,0 +1,65 @@
+"""Shared fixtures for the OFTT reproduction test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.nt.system import NTSystem
+from repro.simnet.kernel import SimKernel
+from repro.simnet.network import Network
+from repro.simnet.partitions import PartitionController
+from repro.simnet.random import RngStreams
+from repro.simnet.trace import TraceLog
+
+
+class World:
+    """A bundle of kernel + network + machines used by most tests."""
+
+    def __init__(self, seed: int = 0) -> None:
+        self.kernel = SimKernel()
+        self.rngs = RngStreams(seed)
+        self.trace = TraceLog(clock=lambda: self.kernel.now)
+        self.network = Network(self.kernel, self.rngs, self.trace)
+        self.partitions = PartitionController(self.network)
+        self.systems = {}
+        self.fieldbuses = {}
+
+    def add_machine(self, name: str, links=("lan0",), boot: bool = True) -> NTSystem:
+        """Create a node + NT machine attached to *links*."""
+        self.network.add_node(name)
+        for link in links:
+            if link not in self.network.links:
+                self.network.add_link(link, latency=0.5, jitter=0.1)
+            self.network.attach(name, link)
+        system = NTSystem(self.kernel, self.network.nodes[name], self.rngs, self.trace)
+        self.systems[name] = system
+        if boot:
+            system.boot_immediately()
+        return system
+
+    def run(self, until: float) -> float:
+        """Advance to absolute time *until*."""
+        return self.kernel.run(until=until)
+
+    def run_for(self, duration: float) -> float:
+        """Advance by *duration*."""
+        return self.kernel.run(until=self.kernel.now + duration)
+
+
+@pytest.fixture
+def world() -> World:
+    """A fresh empty world (seed 0)."""
+    return World(seed=0)
+
+
+@pytest.fixture
+def two_machines(world: World):
+    """World with two booted machines, alpha and beta, on one LAN."""
+    alpha = world.add_machine("alpha")
+    beta = world.add_machine("beta")
+    return world, alpha, beta
+
+
+def make_world(seed: int = 0) -> World:
+    """Non-fixture construction for parametrised/property tests."""
+    return World(seed=seed)

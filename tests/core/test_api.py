@@ -1,0 +1,158 @@
+"""Unit tests for the OFTT public API (§2.2.2)."""
+
+import pytest
+
+from repro.core.api import OfttApi
+from repro.core.config import RecoveryRule
+from repro.core.ftim import ClientFtim, ServerFtim
+from repro.errors import NotInitialized, OfttError, WatchdogError
+from repro.simnet.events import Timeout
+
+from tests.core.util import make_pair_world
+
+
+def make_app_process(world, node):
+    context = world.pair.contexts[node]
+    process = context.system.create_process("userapp")
+
+    def body(_thread):
+        def loop():
+            while True:
+                yield Timeout(100.0)
+
+        return loop()
+
+    process.create_thread("main", body=body, dynamic=False)
+    process.start()
+    process.address_space.write("state", 1)
+    return context, process
+
+
+def started_world():
+    world = make_pair_world()
+    world.start()
+    return world
+
+
+def test_initialize_links_client_ftim_and_registers():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    api.OFTTInitialize(stateful=True)
+    assert isinstance(api.ftim, ClientFtim)
+    assert "userapp" in context.engine.components
+    assert "userapp" in context.engine.monitor.watched()
+
+
+def test_initialize_stateless_links_server_ftim():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    api.OFTTInitialize(stateful=False)
+    assert isinstance(api.ftim, ServerFtim)
+    assert not isinstance(api.ftim, ClientFtim)
+
+
+def test_initialize_twice_rejected():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    api.OFTTInitialize()
+    with pytest.raises(OfttError):
+        api.OFTTInitialize()
+
+
+def test_apis_require_initialize_first():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    with pytest.raises(NotInitialized):
+        api.OFTTSave()
+    with pytest.raises(NotInitialized):
+        api.OFTTGetMyRole()
+    with pytest.raises(NotInitialized):
+        api.OFTTWatchdogCreate("wd")
+    with pytest.raises(NotInitialized):
+        api.OFTTDistress("help")
+
+
+def test_initialize_without_engine_rejected():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    context.engine.process.kill()
+    api = OfttApi(context, "userapp", process)
+    with pytest.raises(OfttError):
+        api.OFTTInitialize()
+
+
+def test_selsave_and_save():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    api.OFTTInitialize()
+    api.OFTTSelSave("globals", ["state"])
+    sequence = api.OFTTSave()
+    assert sequence >= 1
+    stored = context.engine.local_store.latest("userapp")
+    assert stored.image == {"globals": {"state": 1}}
+    assert stored.selective
+
+
+def test_save_on_stateless_ftim_rejected():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    api.OFTTInitialize(stateful=False)
+    with pytest.raises(OfttError):
+        api.OFTTSave()
+    with pytest.raises(OfttError):
+        api.OFTTSelSave("globals", ["state"])
+
+
+def test_get_my_role():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    api.OFTTInitialize()
+    assert api.OFTTGetMyRole() == "primary"
+
+
+def test_watchdog_lifecycle_through_api():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    api.OFTTInitialize()
+    api.OFTTWatchdogCreate("task")
+    api.OFTTWatchdogSet("task", 500.0)
+    api.OFTTWatchdogReset("task")
+    api.OFTTWatchdogDelete("task")
+    with pytest.raises(WatchdogError):
+        api.OFTTWatchdogReset("task")
+
+
+def test_unknown_watchdog_name_rejected():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    api.OFTTInitialize()
+    with pytest.raises(WatchdogError):
+        api.OFTTWatchdogSet("ghost", 100.0)
+
+
+def test_distress_requests_switchover():
+    world = started_world()
+    world.run_for(3_000.0)
+    primary = world.primary
+    app = world.pair.apps[primary]
+    app.api.OFTTDistress("sensor disagreement")
+    world.run_for(2_000.0)
+    assert world.primary != primary
+
+
+def test_static_recovery_rule_via_initialize():
+    world = started_world()
+    context, process = make_app_process(world, world.primary)
+    api = OfttApi(context, "userapp", process)
+    rule = RecoveryRule(max_local_restarts=7)
+    api.OFTTInitialize(recovery_rule=rule)
+    assert context.engine.recovery.config.rule_for("userapp") is rule

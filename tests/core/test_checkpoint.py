@@ -1,0 +1,112 @@
+"""Unit tests for checkpoint capture, serialization, and the store."""
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, CheckpointStore
+from repro.errors import CheckpointError
+
+
+def checkpoint(sequence, image=None, incremental=False, app="app"):
+    return Checkpoint(
+        app_name=app,
+        sequence=sequence,
+        captured_at=float(sequence),
+        image=image if image is not None else {"globals": {"x": sequence}},
+        thread_contexts={"main": {"program_counter": 1, "stack_pointer": 2, "registers": {}}},
+        incremental=incremental,
+    )
+
+
+def test_wire_roundtrip():
+    original = checkpoint(3)
+    assert Checkpoint.from_wire(original.as_wire()) == original
+
+
+def test_size_grows_with_image():
+    small = checkpoint(1, image={"globals": {"x": 1}})
+    big = checkpoint(2, image={"globals": {"blob": "y" * 50_000}})
+    assert big.size_bytes() > small.size_bytes() + 40_000
+
+
+def test_store_keeps_latest():
+    store = CheckpointStore(history=4)
+    for sequence in (1, 2, 3):
+        assert store.store(checkpoint(sequence))
+    assert store.latest("app").sequence == 3
+    assert store.latest_sequence("app") == 3
+
+
+def test_store_rejects_stale_sequences():
+    store = CheckpointStore()
+    store.store(checkpoint(5))
+    assert not store.store(checkpoint(5))
+    assert not store.store(checkpoint(4))
+    assert store.rejected_count == 2
+    assert store.latest("app").sequence == 5
+
+
+def test_store_bounds_history():
+    store = CheckpointStore(history=3)
+    for sequence in range(1, 10):
+        store.store(checkpoint(sequence))
+    chain = store.all_for("app")
+    assert [cp.sequence for cp in chain] == [7, 8, 9]
+
+
+def test_store_separates_apps():
+    store = CheckpointStore()
+    store.store(checkpoint(1, app="a"))
+    store.store(checkpoint(1, app="b"))
+    assert store.latest("a").app_name == "a"
+    assert store.latest("b").app_name == "b"
+    store.clear("a")
+    assert store.latest("a") is None
+    assert store.latest("b") is not None
+
+
+def test_latest_of_unknown_app_is_none():
+    store = CheckpointStore()
+    assert store.latest("ghost") is None
+    assert store.latest_sequence("ghost") == 0
+
+
+def test_invalid_history_rejected():
+    with pytest.raises(CheckpointError):
+        CheckpointStore(history=0)
+
+
+def test_incremental_merges_onto_base():
+    base = checkpoint(1, image={"globals": {"a": 1, "b": 2}, "heap": {"h": 0}})
+    delta = checkpoint(2, image={"globals": {"b": 99}, "new": {"n": 1}}, incremental=True)
+    merged = delta.merged_onto(base)
+    assert merged.image == {"globals": {"a": 1, "b": 99}, "heap": {"h": 0}, "new": {"n": 1}}
+    assert not merged.incremental
+    assert merged.sequence == 2
+
+
+def test_incremental_without_base_rejected():
+    delta = checkpoint(1, incremental=True)
+    with pytest.raises(CheckpointError):
+        delta.merged_onto(None)
+
+
+def test_full_checkpoint_merge_is_identity():
+    full = checkpoint(2)
+    assert full.merged_onto(checkpoint(1)) is full
+
+
+def test_store_resolves_incrementals_on_insert():
+    store = CheckpointStore()
+    store.store(checkpoint(1, image={"globals": {"a": 1, "b": 2}}))
+    store.store(checkpoint(2, image={"globals": {"b": 3}}, incremental=True))
+    latest = store.latest("app")
+    assert latest.image == {"globals": {"a": 1, "b": 3}}
+    assert not latest.incremental
+
+
+def test_incremental_chain_resolves_transitively():
+    store = CheckpointStore()
+    store.store(checkpoint(1, image={"globals": {"a": 1}}))
+    store.store(checkpoint(2, image={"globals": {"b": 2}}, incremental=True))
+    store.store(checkpoint(3, image={"globals": {"c": 3}}, incremental=True))
+    assert store.latest("app").image == {"globals": {"a": 1, "b": 2, "c": 3}}

@@ -1,0 +1,121 @@
+"""Unit tests for pair assembly (OfttPair)."""
+
+import pytest
+
+from repro.apps.synthetic import SyntheticStateApp
+from repro.core.cluster import OfttPair
+from repro.core.config import OfttConfig
+from repro.errors import OfttError
+
+from tests.conftest import make_world
+from tests.core.util import make_pair_world
+
+
+def test_pair_requires_exactly_two_systems():
+    world = make_world()
+    world.add_machine("only")
+    with pytest.raises(OfttError):
+        OfttPair(world.network, dict(world.systems), OfttConfig(), SyntheticStateApp)
+
+
+def test_pair_requires_booted_machines():
+    world = make_world()
+    world.add_machine("a")
+    world.add_machine("b", boot=False)
+    with pytest.raises(OfttError):
+        OfttPair(world.network, dict(world.systems), OfttConfig(), SyntheticStateApp)
+
+
+def test_settle_reaches_stable_state():
+    world = make_pair_world()
+    world.pair.start()
+    settled_at = world.pair.settle()
+    assert world.pair.is_stable()
+    assert settled_at < 5_000.0
+
+
+def test_settle_times_out_when_unstable():
+    world = make_pair_world()
+    # Never started: can't stabilise.
+    with pytest.raises(OfttError):
+        world.pair.settle(max_time=1_000.0)
+
+
+def test_queries():
+    world = make_pair_world()
+    world.start()
+    primary = world.pair.primary_node()
+    backup = world.pair.backup_node()
+    assert {primary, backup} == {"alpha", "beta"}
+    assert world.pair.running_app_nodes() == [primary]
+    assert world.pair.engine(primary).role.value == "primary"
+    assert world.pair.app(primary).running
+
+
+def test_multi_app_pair_runs_all_apps_on_primary():
+    world = make_pair_world(
+        app_factory=lambda: [
+            SyntheticStateApp(cold_kb=1, mode="selective"),
+            _SecondApp(),
+        ]
+    )
+    world.start()
+    primary = world.primary
+    apps = world.pair.all_apps[primary]
+    assert len(apps) == 2
+    assert all(app.running for app in apps)
+    backup_apps = world.pair.all_apps[world.backup]
+    assert not any(app.running for app in backup_apps)
+
+
+def test_multi_app_failover_moves_both():
+    world = make_pair_world(
+        app_factory=lambda: [
+            SyntheticStateApp(cold_kb=1, mode="selective"),
+            _SecondApp(),
+        ]
+    )
+    world.start()
+    old_primary = world.primary
+    world.run_for(3_000.0)
+    world.systems[old_primary].power_off()
+    world.run_for(3_000.0)
+    new_primary = world.primary
+    assert new_primary != old_primary
+    assert all(app.running for app in world.pair.all_apps[new_primary])
+
+
+def test_reinstall_node_rejoins_as_backup():
+    world = make_pair_world()
+    world.start()
+    world.run_for(2_000.0)
+    victim = world.primary
+    world.systems[victim].power_off()
+    world.run_for(2_000.0)
+    world.systems[victim].reboot()
+    world.run_for(2_000.0)
+    world.pair.reinstall_node(victim)
+    world.run_for(3_000.0)
+    assert world.pair.engines[victim].role.value == "backup"
+    assert world.pair.is_stable()
+    # Checkpoints flow to the rejoined backup again.
+    world.run_for(3_000.0)
+    assert world.pair.engines[victim].peer_store.latest("synthetic") is not None
+
+
+def test_reinstall_requires_up_machine():
+    world = make_pair_world()
+    world.start()
+    victim = world.primary
+    world.systems[victim].power_off()
+    with pytest.raises(OfttError):
+        world.pair.reinstall_node(victim)
+
+
+class _SecondApp(SyntheticStateApp):
+    """A second distinct managed application for multi-app tests."""
+
+    name = "second"
+
+    def __init__(self):
+        super().__init__(cold_kb=1, mode="selective")

@@ -1,0 +1,244 @@
+"""Unit tests for the OFTT engine."""
+
+import pytest
+
+from repro.core.config import OfttConfig, RecoveryRule, replace_config
+from repro.core.roles import Role
+from repro.core.status import ComponentStatus
+from repro.errors import OfttError, WatchdogError
+
+from tests.core.util import make_pair_world
+
+
+def started(seed=0, config=None, **kwargs):
+    world = make_pair_world(seed=seed, config=config, **kwargs)
+    world.start()
+    return world
+
+
+def test_negotiation_yields_one_primary_one_backup():
+    world = started()
+    assert {world.pair.engines[n].role for n in ("alpha", "beta")} == {Role.PRIMARY, Role.BACKUP}
+    assert world.pair.apps[world.primary].running
+    assert not world.pair.apps[world.backup].running
+
+
+def test_preferred_primary_honoured():
+    world = make_pair_world(preferred_primary="beta")
+    world.start()
+    assert world.primary == "beta"
+
+
+def test_engine_runs_as_separate_process():
+    world = started()
+    for name in ("alpha", "beta"):
+        engine = world.pair.engines[name]
+        process = world.systems[name].find_process("oftt-engine")
+        assert process is engine.process
+        assert process.alive
+
+
+def test_checkpoints_mirrored_to_peer_and_acked():
+    world = started()
+    world.run_for(5_000.0)
+    primary_engine = world.pair.engines[world.primary]
+    backup_engine = world.pair.engines[world.backup]
+    assert primary_engine.local_store.latest("synthetic") is not None
+    assert backup_engine.peer_store.latest("synthetic") is not None
+    assert primary_engine.acked_sequence >= backup_engine.peer_store.latest("synthetic").sequence - 1
+    assert backup_engine.stats()["checkpoints_rx"] >= 4
+
+
+def test_peer_loss_promotes_backup_with_state():
+    world = started()
+    world.run_for(5_000.0)
+    old_primary = world.primary
+    old_app = world.pair.apps[old_primary]
+    ticks_before = old_app.ticks()
+    world.systems[old_primary].power_off()
+    world.run_for(2_000.0)
+    new_primary = world.primary
+    assert new_primary != old_primary
+    new_app = world.pair.apps[new_primary]
+    assert new_app.running
+    # Restored state is at most one checkpoint period behind.
+    restored = new_app.process.address_space.read("ticks")
+    assert restored >= ticks_before - 25
+
+
+def test_primary_survives_backup_loss_degraded():
+    world = started()
+    world.run_for(3_000.0)
+    backup = world.backup
+    primary = world.primary
+    world.systems[backup].power_off()
+    world.run_for(2_000.0)
+    engine = world.pair.engines[primary]
+    assert engine.role is Role.PRIMARY
+    assert engine.degraded
+    assert world.pair.apps[primary].running
+
+
+def test_peer_return_clears_degraded():
+    world = started()
+    world.run_for(3_000.0)
+    backup = world.backup
+    world.systems[backup].power_off()
+    world.run_for(2_000.0)
+    world.systems[backup].reboot()
+    world.run_for(2_000.0)
+    world.pair.reinstall_node(backup)
+    world.run_for(5_000.0)
+    primary_engine = world.pair.engines[world.primary]
+    assert not primary_engine.degraded
+    assert world.pair.engines[backup].role is Role.BACKUP
+
+
+def test_app_crash_triggers_local_restart_with_checkpoint():
+    world = started()
+    world.run_for(5_000.0)
+    primary = world.primary
+    app = world.pair.apps[primary]
+    ticks_before = app.ticks()
+    launches_before = app.launch_count
+    app.process.kill()
+    world.run_for(1_000.0)
+    assert app.launch_count == launches_before + 1
+    assert world.primary == primary  # no failover for a first transient
+    assert app.ticks() >= ticks_before - 25
+    assert world.pair.engines[primary].local_restart_count == 1
+
+
+def test_repeated_crashes_escalate_to_failover():
+    config = OfttConfig().with_rule("synthetic", RecoveryRule(max_local_restarts=1, restart_delay=50.0))
+    world = started(config=config)
+    world.run_for(5_000.0)
+    first_primary = world.primary
+    app = world.pair.apps[first_primary]
+    app.process.kill()  # transient 1 -> local restart
+    world.run_for(1_000.0)
+    assert world.primary == first_primary
+    app.process.kill()  # transient 2 -> escalate
+    world.run_for(3_000.0)
+    assert world.primary != first_primary
+    assert world.pair.apps[world.primary].running
+
+
+def test_request_switchover_hands_over():
+    world = started()
+    world.run_for(3_000.0)
+    first_primary = world.primary
+    world.pair.engines[first_primary].request_switchover("operator request")
+    world.run_for(2_000.0)
+    assert world.primary != first_primary
+    assert world.pair.apps[world.primary].running
+    assert not world.pair.apps[first_primary].running
+
+
+def test_switchover_from_backup_rejected():
+    world = started()
+    with pytest.raises(OfttError):
+        world.pair.engines[world.backup].request_switchover("nope")
+
+
+def test_switchover_without_peer_restarts_locally():
+    world = started()
+    world.run_for(3_000.0)
+    backup = world.backup
+    primary = world.primary
+    world.systems[backup].power_off()
+    world.run_for(2_000.0)
+    engine = world.pair.engines[primary]
+    app = world.pair.apps[primary]
+    launches = app.launch_count
+    # Drive the app into repeated failure: switchover is impossible, so
+    # the engine must keep it running locally.
+    app.process.kill()
+    world.run_for(2_000.0)
+    app.process.kill()
+    world.run_for(3_000.0)
+    assert app.running
+    assert app.launch_count > launches
+    assert engine.role is Role.PRIMARY
+
+
+def test_watchdog_expiry_applies_recovery_rule():
+    world = started()
+    world.run_for(3_000.0)
+    primary = world.primary
+    engine = world.pair.engines[primary]
+    app = world.pair.apps[primary]
+    launches = app.launch_count
+    watchdog = engine.watchdog_create("task", "synthetic")
+    watchdog.set(500.0)  # never reset -> fires
+    world.run_for(2_000.0)
+    assert watchdog.expirations == 1
+    assert app.launch_count == launches + 1  # local restart happened
+
+
+def test_duplicate_watchdog_name_rejected():
+    world = started()
+    engine = world.pair.engines[world.primary]
+    engine.watchdog_create("wd", "synthetic")
+    with pytest.raises(WatchdogError):
+        engine.watchdog_create("wd", "synthetic")
+
+
+def test_engine_death_stops_monitoring_and_watchdogs():
+    world = started()
+    engine = world.pair.engines[world.primary]
+    watchdog = engine.watchdog_create("wd", "synthetic")
+    watchdog.set(10_000.0)
+    engine.process.kill()
+    assert not engine.alive
+    assert engine.monitor._running is False
+    assert watchdog.deleted
+
+
+def test_middleware_failure_on_primary_fails_over():
+    world = started()
+    world.run_for(3_000.0)
+    first_primary = world.primary
+    world.pair.engines[first_primary].process.kill()
+    world.run_for(2_000.0)
+    assert world.primary != first_primary
+    assert world.pair.apps[world.primary].running
+    # The orphaned app copy was fail-stopped by its FTIM.
+    assert not world.pair.apps[first_primary].running
+
+
+def test_status_reports_cover_components():
+    world = started()
+    world.run_for(2_000.0)
+    engine = world.pair.engines[world.primary]
+    reports = engine.status_reports()
+    components = {report.component for report in reports}
+    assert {"oftt-engine", "peer-link", "synthetic"} <= components
+    assert all(report.node == world.primary for report in reports)
+
+
+def test_com_surface():
+    world = started()
+    world.run_for(2_000.0)
+    engine = world.pair.engines[world.primary]
+    assert engine.GetRole() == "primary"
+    table = engine.GetStatusTable()
+    assert isinstance(table, list) and table
+    info = engine.GetCheckpointInfo()
+    assert info["local_latest"] >= 1
+
+
+def test_heartbeat_only_detection_when_exit_hooks_disabled():
+    config = replace_config(OfttConfig(), use_exit_hooks=False)
+    world = started(config=config)
+    world.run_for(3_000.0)
+    primary = world.primary
+    app = world.pair.apps[primary]
+    launches = app.launch_count
+    fault_time = world.kernel.now
+    app.process.kill()
+    world.run_for(world.config.heartbeat_timeout * 3)
+    assert app.launch_count == launches + 1
+    restart = world.trace.first(category="engine", component=primary, event="local-restart", since=fault_time)
+    assert restart is not None
+    assert restart.time - fault_time >= world.config.heartbeat_timeout

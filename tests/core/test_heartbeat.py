@@ -1,0 +1,102 @@
+"""Unit tests for the heartbeat failure detector."""
+
+from repro.core.heartbeat import HeartbeatMonitor
+from repro.simnet.kernel import SimKernel
+
+
+def make_monitor(sweep=50.0):
+    kernel = SimKernel()
+    failures = []
+    monitor = HeartbeatMonitor(kernel, sweep, lambda name, silence: failures.append((kernel.now, name, silence)))
+    monitor.start()
+    return kernel, monitor, failures
+
+
+def beat_loop(kernel, monitor, component, period, until):
+    time = period
+    while time <= until:
+        kernel.schedule(time - kernel.now, monitor.beat, component)
+        time += period
+
+
+def test_silent_component_declared_failed_once():
+    kernel, monitor, failures = make_monitor()
+    monitor.watch("app", timeout=200.0)
+    kernel.run(until=1_000.0)
+    assert len(failures) == 1
+    _time, name, silence = failures[0]
+    assert name == "app"
+    assert silence > 200.0
+
+
+def test_detection_latency_bounded_by_timeout_plus_sweep():
+    kernel, monitor, failures = make_monitor(sweep=50.0)
+    monitor.watch("app", timeout=200.0)
+    kernel.run(until=5_000.0)
+    detect_time = failures[0][0]
+    assert 200.0 < detect_time <= 300.0
+
+
+def test_beating_component_never_suspected():
+    kernel, monitor, failures = make_monitor()
+    monitor.watch("app", timeout=200.0)
+    beat_loop(kernel, monitor, "app", period=100.0, until=2_000.0)
+    kernel.run(until=2_000.0)
+    assert failures == []
+    assert not monitor.is_suspected("app")
+
+
+def test_beat_after_suspicion_clears_and_rearms():
+    kernel, monitor, failures = make_monitor()
+    monitor.watch("app", timeout=200.0)
+    kernel.run(until=500.0)
+    assert monitor.is_suspected("app")
+    monitor.beat("app")
+    assert not monitor.is_suspected("app")
+    kernel.run(until=1_500.0)
+    assert len(failures) == 2  # silent again -> second detection
+
+
+def test_pause_suppresses_detection_resume_restarts_clock():
+    kernel, monitor, failures = make_monitor()
+    monitor.watch("app", timeout=200.0)
+    monitor.pause("app")
+    kernel.run(until=2_000.0)
+    assert failures == []
+    monitor.resume("app")
+    kernel.run(until=2_100.0)
+    assert failures == []  # clock restarted at resume
+    kernel.run(until=2_500.0)
+    assert len(failures) == 1
+
+
+def test_unwatch_stops_monitoring():
+    kernel, monitor, failures = make_monitor()
+    monitor.watch("app", timeout=200.0)
+    monitor.unwatch("app")
+    kernel.run(until=2_000.0)
+    assert failures == []
+    assert monitor.silence("app") is None
+
+
+def test_beat_for_unknown_component_ignored():
+    kernel, monitor, _failures = make_monitor()
+    monitor.beat("ghost")  # must not raise
+
+
+def test_stop_halts_sweeps():
+    kernel, monitor, failures = make_monitor()
+    monitor.watch("app", timeout=200.0)
+    monitor.stop()
+    kernel.run(until=5_000.0)
+    assert failures == []
+
+
+def test_multiple_components_independent():
+    kernel, monitor, failures = make_monitor()
+    monitor.watch("good", timeout=200.0)
+    monitor.watch("bad", timeout=200.0)
+    beat_loop(kernel, monitor, "good", period=100.0, until=1_000.0)
+    kernel.run(until=1_000.0)
+    assert [name for _t, name, _s in failures] == ["bad"]
+    assert monitor.watched() == ["bad", "good"]

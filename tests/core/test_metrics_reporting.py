@@ -1,0 +1,142 @@
+"""Unit tests for the metrics helpers and report formatting."""
+
+import math
+
+import pytest
+
+from repro.harness.reporting import format_dict, format_series, format_table
+from repro.metrics import (
+    AvailabilitySampler,
+    FailoverTiming,
+    failover_timing,
+    histogram_distance,
+    summarize,
+)
+from repro.simnet.kernel import SimKernel
+from repro.simnet.trace import TraceLog
+
+
+# -- summarize ------------------------------------------------------------------
+
+
+def test_summarize_basic_statistics():
+    stats = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+    assert stats["n"] == 5
+    assert stats["min"] == 1.0
+    assert stats["max"] == 5.0
+    assert stats["mean"] == 3.0
+    assert stats["p50"] == 3.0
+
+
+def test_summarize_empty_is_nan():
+    stats = summarize([])
+    assert stats["n"] == 0
+    assert math.isnan(stats["mean"])
+
+
+def test_summarize_p95_near_tail():
+    values = list(range(100))
+    stats = summarize([float(v) for v in values])
+    assert 90 <= stats["p95"] <= 99
+
+
+# -- histogram distance ------------------------------------------------------------
+
+
+def test_histogram_distance_zero_for_equal():
+    assert histogram_distance({0: 3, 1: 5}, {1: 5, 0: 3}) == 0
+
+
+def test_histogram_distance_counts_differences():
+    assert histogram_distance({0: 3, 1: 5}, {0: 1, 2: 4}) == 2 + 5 + 4
+
+
+# -- failover timing -----------------------------------------------------------------
+
+
+def test_failover_timing_extraction():
+    kernel = SimKernel()
+    trace = TraceLog(clock=lambda: kernel.now)
+    kernel.schedule(100.0, trace.emit, "engine", "beta", "peer-lost")
+    kernel.schedule(120.0, trace.emit, "engine", "beta", "takeover")
+    kernel.run()
+    timing = failover_timing(trace, fault_at=50.0, promoting_node="beta")
+    assert timing.detection_latency == 50.0
+    assert timing.failover_latency == 70.0
+
+
+def test_failover_timing_missing_events():
+    trace = TraceLog()
+    timing = failover_timing(trace, fault_at=0.0, promoting_node="x")
+    assert timing.detection_latency is None
+    assert timing.failover_latency is None
+
+
+# -- availability sampler ---------------------------------------------------------------
+
+
+def test_availability_fraction_and_windows():
+    sampler = AvailabilitySampler()
+    for time, up in [(0, True), (1, True), (2, False), (3, False), (4, True), (5, True)]:
+        sampler.sample(float(time), up)
+    assert sampler.availability == pytest.approx(4 / 6)
+    assert sampler.downtime_windows() == [(2.0, 4.0)]
+    assert sampler.total_downtime == 2.0
+
+
+def test_availability_open_ended_downtime():
+    sampler = AvailabilitySampler()
+    sampler.sample(0.0, True)
+    sampler.sample(1.0, False)
+    sampler.sample(2.0, False)
+    assert sampler.downtime_windows() == [(1.0, 2.0)]
+
+
+def test_availability_empty_defaults_up():
+    assert AvailabilitySampler().availability == 1.0
+
+
+# -- reporting --------------------------------------------------------------------------
+
+
+def test_format_table_aligns_and_includes_rows():
+    text = format_table(["name", "value"], [["alpha", 1], ["b", 123456]], title="T")
+    lines = text.splitlines()
+    assert lines[0] == "== T =="
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "alpha" in text and "123456" in text
+
+
+def test_format_table_empty_rows():
+    text = format_table(["a", "b"], [])
+    assert "a" in text and "b" in text
+
+
+def test_format_series_and_dict():
+    assert format_series("lat", [1.0, 2.5], unit="ms") == "lat: [1.00, 2.50] ms"
+    block = format_dict("B", {"key": 1, "longer_key": "v"})
+    assert "== B ==" in block and "longer_key" in block
+
+
+def test_format_handles_nan_and_large_floats():
+    text = format_table(["x"], [[float("nan")], [123456.789]])
+    assert "nan" in text
+    assert "123457" in text
+
+
+# -- run_experiments CLI -------------------------------------------------------------------
+
+
+def test_run_experiments_rejects_unknown_ids(capsys):
+    from repro.harness.run_experiments import main
+
+    assert main(["NOPE"]) == 2
+    assert "unknown experiment ids" in capsys.readouterr().out
+
+
+def test_run_experiments_single_id(capsys):
+    from repro.harness.run_experiments import main
+
+    assert main(["X5"]) == 0
+    out = capsys.readouterr().out
+    assert "X5" in out and "local-restart" in out

@@ -1,0 +1,49 @@
+"""Helpers for core-layer tests: a ready-made pair environment."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.apps.synthetic import SyntheticStateApp
+from repro.core.cluster import OfttPair
+from repro.core.config import OfttConfig
+
+from tests.conftest import World, make_world
+
+
+class PairWorld(World):
+    """World + an assembled OfttPair, the common core-test environment."""
+
+    def __init__(self, seed: int = 0, config: Optional[OfttConfig] = None, app_factory=None, **pair_kwargs):
+        super().__init__(seed=seed)
+        for name in ("alpha", "beta"):
+            self.add_machine(name)
+        self.config = config or OfttConfig()
+        factory = app_factory or (lambda: SyntheticStateApp(cold_kb=2, mode="selective", tick_period=50.0))
+        self.pair = OfttPair(
+            network=self.network,
+            systems=dict(self.systems),
+            config=self.config,
+            app_factory=factory,
+            unit="test",
+            trace=self.trace,
+            **pair_kwargs,
+        )
+
+    def start(self, settle: bool = True) -> None:
+        self.pair.start()
+        if settle:
+            self.pair.settle()
+
+    @property
+    def primary(self) -> str:
+        return self.pair.primary_node()
+
+    @property
+    def backup(self) -> str:
+        return self.pair.backup_node()
+
+
+def make_pair_world(seed: int = 0, config: Optional[OfttConfig] = None, **kwargs) -> PairWorld:
+    """Construct (without starting) a two-node pair world."""
+    return PairWorld(seed=seed, config=config, **kwargs)

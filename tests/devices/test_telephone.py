@@ -1,0 +1,95 @@
+"""Unit tests for the telephone system simulator (§4 workload)."""
+
+from repro.devices.telephone import CallEvent, TelephoneSystem
+
+from tests.conftest import make_world
+
+
+def make_phone(seed=0, **kwargs):
+    world = make_world(seed)
+    phone = TelephoneSystem(world.kernel, world.rngs.stream("phone"), **kwargs)
+    return world, phone
+
+
+def test_busy_lines_never_exceed_line_count():
+    world, phone = make_phone(lines=5, callers=10)
+    phone.start()
+    world.run(300_000.0)
+    assert phone.events
+    assert all(0 <= event.busy_lines <= 5 for event in phone.events)
+
+
+def test_event_sequences_strictly_increasing():
+    world, phone = make_phone()
+    phone.start()
+    world.run(120_000.0)
+    sequences = [event.sequence for event in phone.events]
+    assert sequences == sorted(sequences)
+    assert len(set(sequences)) == len(sequences)
+
+
+def test_start_end_pairing():
+    world, phone = make_phone()
+    phone.start()
+    world.run(200_000.0)
+    starts = sum(1 for e in phone.events if e.kind == "start")
+    ends = sum(1 for e in phone.events if e.kind == "end")
+    # Every completed call started; at most `lines` calls still in flight.
+    assert 0 <= starts - ends <= phone.line_count
+    assert phone.completed_count == ends
+
+
+def test_blocking_happens_under_offered_load():
+    """10 callers on 5 lines with call time ~ idle time must block some
+    attempts (Erlang-B loss behaviour)."""
+    world, phone = make_phone(seed=3, mean_idle=2_000.0, mean_call=4_000.0)
+    phone.start()
+    world.run(400_000.0)
+    assert phone.blocked_count > 0
+    blocked_events = [e for e in phone.events if e.kind == "blocked"]
+    assert all(e.busy_lines == phone.line_count for e in blocked_events)
+    assert all(e.line == -1 for e in blocked_events)
+
+
+def test_histogram_accounts_every_event():
+    world, phone = make_phone()
+    phone.start()
+    world.run(150_000.0)
+    histogram = phone.busy_histogram()
+    assert sum(histogram.values()) == len(phone.events)
+
+
+def test_deterministic_for_seed():
+    world_a, phone_a = make_phone(seed=7)
+    phone_a.start()
+    world_a.run(60_000.0)
+    world_b, phone_b = make_phone(seed=7)
+    phone_b.start()
+    world_b.run(60_000.0)
+    assert [e.sequence for e in phone_a.events] == [e.sequence for e in phone_b.events]
+    assert phone_a.busy_histogram() == phone_b.busy_histogram()
+
+
+def test_listeners_receive_all_events():
+    world, phone = make_phone()
+    seen = []
+    phone.add_listener(seen.append)
+    phone.start()
+    world.run(60_000.0)
+    assert seen == phone.events
+
+
+def test_event_wire_roundtrip():
+    event = CallEvent(kind="start", caller=3, line=1, time=10.0, busy_lines=2, sequence=5)
+    assert CallEvent.from_wire(event.as_wire()) == event
+
+
+def test_stop_frees_lines_and_halts():
+    world, phone = make_phone()
+    phone.start()
+    world.run(30_000.0)
+    phone.stop()
+    count = len(phone.events)
+    world.run(60_000.0)
+    assert len(phone.events) == count
+    assert phone.busy_lines == 0

@@ -1,0 +1,82 @@
+"""Edge cases for campaigns and the remaining fault paths."""
+
+from repro.faults import NodeFailure
+from repro.faults.campaign import Campaign
+
+from tests.core.util import make_pair_world
+
+
+def test_campaign_reports_unrecovered_when_both_nodes_die():
+    world = make_pair_world(seed=101)
+    world.start()
+    world.run_for(2_000.0)
+    campaign = Campaign(world.kernel, world, settle_timeout=5_000.0)
+    # Kill the backup first (out-of-band), then campaign-kill the primary:
+    # nothing is left to recover on.
+    world.systems[world.backup].power_off()
+    world.run_for(1_000.0)
+    record = campaign.run_fault(NodeFailure(world.primary))
+    assert not record.recovered
+    assert record.recovery_latency is None
+    assert not campaign.all_recovered()
+
+
+def test_campaign_primary_tracking_fields():
+    world = make_pair_world(seed=102)
+    world.start()
+    world.run_for(2_000.0)
+    campaign = Campaign(world.kernel, world, settle_timeout=15_000.0)
+    before = world.primary
+    record = campaign.run_fault(NodeFailure(before))
+    assert record.primary_before == before
+    assert record.primary_after not in (None, before)
+    assert record.switched_over
+    assert record.demo_id == "a"
+
+
+def test_engine_reports_reach_multiple_monitor_nodes():
+    from repro.core.monitor import SystemMonitor
+
+    world = make_pair_world(seed=103, monitor_nodes=["mon1", "mon2"])
+    world.add_machine("mon1")
+    world.add_machine("mon2")
+    monitor1 = SystemMonitor(world.kernel, world.network.nodes["mon1"])
+    monitor2 = SystemMonitor(world.kernel, world.network.nodes["mon2"])
+    world.start()
+    world.run_for(3_000.0)
+    assert monitor1.reports_received > 0
+    assert monitor2.reports_received > 0
+    assert monitor1.current_primary() == monitor2.current_primary() == world.primary
+
+
+def test_remote_group_on_dead_server_app_is_disconnected():
+    """Groups exported by a dead hosting process answer disconnected."""
+    from repro.com.hresult import RPC_E_DISCONNECTED
+    from repro.com.runtime import ComRuntime
+    from repro.opc.server import OpcServer
+
+    from tests.conftest import make_world
+
+    world = make_world()
+    server_sys = world.add_machine("server")
+    client_sys = world.add_machine("client")
+    server_rt = ComRuntime(server_sys, world.network)
+    client_rt = ComRuntime(client_sys, world.network)
+    host = server_sys.create_process("opc-host")
+    host.create_thread("main", dynamic=False)
+    host.start()
+    server = OpcServer(server_rt, "OPC.D.1")
+    server.host_process = host
+    server.namespace.define_simple("a", 0.0)
+    group_ref = server.AddGroupRemote("g")
+    host.kill()
+    proxy = client_rt.proxy_for(group_ref)
+    outcome = {}
+
+    def caller():
+        result = yield proxy.SyncRead([1])
+        outcome["result"] = result
+
+    world.kernel.spawn(caller())
+    world.run_for(5_000.0)
+    assert outcome["result"].hresult == RPC_E_DISCONNECTED

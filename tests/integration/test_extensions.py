@@ -1,0 +1,99 @@
+"""Integration tests for the extension features beyond the paper's
+implementation status.
+
+* Dynamic recovery rules at run time (§2.2.1 says "the current
+  implementation only supports static decision" — we implement the
+  dynamic path).
+* DCOM-style ping GC of orphaned OPC groups after client failovers.
+* Operator failback: returning the primary role after a repair.
+"""
+
+from repro.core.config import RecoveryRule
+from repro.faults import NodeFailure, NodeReboot
+from repro.faults.injector import FaultInjector
+from repro.harness.scenario import build_remote_monitoring
+
+from tests.core.util import make_pair_world
+
+
+def test_dynamic_recovery_rule_change_takes_effect():
+    world = make_pair_world()
+    world.start()
+    world.run_for(3_000.0)
+    primary = world.primary
+    app = world.pair.apps[primary]
+    # At run time, tighten the rule to always-failover.
+    app.api.OFTTSetRecoveryRule(RecoveryRule.always_failover())
+    app.process.kill()
+    world.run_for(3_000.0)
+    # The very first crash escalated straight to switchover.
+    assert world.primary != primary
+    assert world.pair.engines[primary].local_restart_count == 0
+
+
+def test_dynamic_rule_relaxation():
+    world = make_pair_world()
+    world.start()
+    world.run_for(3_000.0)
+    primary = world.primary
+    app = world.pair.apps[primary]
+    app.api.OFTTSetRecoveryRule(RecoveryRule.local_only())
+    for _crash in range(4):
+        app.process.kill()
+        world.run_for(1_500.0)
+    # Never failed over, kept restarting locally.
+    assert world.primary == primary
+    assert world.pair.engines[primary].local_restart_count == 4
+
+
+def test_opc_ping_gc_collects_orphaned_groups():
+    """After a monitoring-station failover, the dead client's group on the
+    external OPC server must eventually be garbage collected."""
+    scenario = build_remote_monitoring(seed=61)
+    scenario.start()
+    scenario.run_for(10_000.0)
+    server = scenario.opc_server
+    groups_before = set(server.groups)
+    assert len(groups_before) == 1  # the primary station's subscription
+    victim = scenario.pair.primary_node()
+    scenario.systems[victim].power_off()
+    # Two ping periods + slack for the strikes to accumulate.
+    scenario.run_for(25_000.0)
+    surviving_groups = set(server.groups)
+    # The orphan is gone; the new primary's group remains.
+    assert groups_before.isdisjoint(surviving_groups)
+    assert len(surviving_groups) == 1
+    new_app = scenario.primary_app()
+    assert new_app.updates_seen() > 0  # replacement subscription is live
+
+
+def test_opc_ping_keeps_healthy_groups():
+    scenario = build_remote_monitoring(seed=62)
+    scenario.start()
+    scenario.run_for(30_000.0)  # several ping periods
+    assert len(scenario.opc_server.groups) == 1  # never collected
+
+
+def test_operator_failback_after_repair():
+    """Fail A over to B, repair A, then hand primary back to A —
+    the 'switchback' workflow an operator would run after maintenance."""
+    world = make_pair_world(seed=63)
+    world.start()
+    world.run_for(3_000.0)
+    node_a = world.primary
+    injector = FaultInjector(world.kernel, world)
+    injector.inject_now(NodeFailure(node_a))
+    world.run_for(3_000.0)
+    node_b = world.primary
+    assert node_b != node_a
+    injector.inject_now(NodeReboot(node_a, reinstall=True))
+    world.run_for(6_000.0)
+    assert world.pair.engines[node_a].role.value == "backup"
+    ticks_on_b = world.pair.apps[node_b].ticks()
+    # Operator-initiated switchback.
+    world.pair.engines[node_b].request_switchover("failback after repair")
+    world.run_for(3_000.0)
+    assert world.primary == node_a
+    assert world.pair.apps[node_a].running
+    assert world.pair.apps[node_a].ticks() >= ticks_on_b - 25
+    assert world.pair.is_stable()

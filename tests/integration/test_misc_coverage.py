@@ -1,0 +1,100 @@
+"""Assorted coverage: counters, labels, stopped-status visibility,
+region deletion, empty renders."""
+
+from repro.core.monitor import SystemMonitor
+from repro.core.status import ComponentStatus
+from repro.nt.memory import MemoryRegion
+
+from tests.core.util import make_pair_world
+
+
+def test_region_delete_variable():
+    region = MemoryRegion("r")
+    region.write("a", 1)
+    region.delete("a")
+    assert "a" not in region
+    region.delete("a")  # idempotent
+
+
+def test_group_notifications_counter():
+    from repro.com.runtime import ComRuntime
+    from repro.opc.server import OpcServer
+    from tests.conftest import make_world
+
+    world = make_world()
+    system = world.add_machine("host")
+    server = OpcServer(ComRuntime(system, world.network), "OPC.C.1")
+    server.namespace.define_simple("a", 0.0)
+    group = server.AddGroup("g", update_rate=50.0)
+    group.AddItems(["a"])
+    group.SetDataCallback(lambda name, batch: None)
+    for value in range(5):
+        server.update_item("a", float(value))
+        world.run_for(100.0)
+    assert group.notifications_sent == 5
+
+
+def test_stopped_status_visible_on_monitor_after_switchover():
+    world = make_pair_world(seed=121, monitor_nodes=["mon"])
+    world.add_machine("mon")
+    monitor = SystemMonitor(world.kernel, world.network.nodes["mon"])
+    world.start()
+    world.run_for(3_000.0)
+    old_primary = world.primary
+    world.pair.engines[old_primary].request_switchover("maintenance")
+    world.run_for(3_000.0)
+    # The demoted node's engine reports its app copy stopped.
+    assert monitor.status_of(old_primary, "synthetic") is ComponentStatus.STOPPED
+    assert monitor.role_of(old_primary) == "backup"
+
+
+def test_diverter_message_labels_preserved():
+    from repro.core.diverter import DiverterClient, inbox_queue_name
+    from repro.msq.manager import QueueManager
+
+    world = make_pair_world(seed=122, subscriber_nodes=["ext"])
+    world.add_machine("ext")
+    qmgr = QueueManager(world.kernel, world.network, world.network.nodes["ext"])
+    client = DiverterClient(
+        node=world.network.nodes["ext"], qmgr=qmgr, unit="test", pair_nodes=["alpha", "beta"]
+    )
+    world.start()
+    world.run_for(2_000.0)
+    client.send({"n": 1}, label="important")
+    world.run_for(1_000.0)
+    queue = world.pair.contexts[world.primary].qmgr.open_queue(inbox_queue_name("test"))
+    message = queue.receive()
+    assert message.label == "important"
+    # The inbox journals consumed messages (diverter redelivery window).
+    assert queue.journal_enabled
+
+
+def test_calltrack_render_before_any_events():
+    from tests.apps.test_calltrack import make_calltrack
+
+    _world, app = make_calltrack()
+    rendered = app.render_histogram()
+    assert "0 events" in rendered
+    assert rendered.count("busy") == app.lines + 1
+
+
+def test_engine_stats_counters_consistent():
+    world = make_pair_world(seed=123)
+    world.start()
+    world.run_for(5_000.0)
+    primary_engine = world.pair.engines[world.primary]
+    backup_engine = world.pair.engines[world.backup]
+    primary_stats = primary_engine.stats()
+    backup_stats = backup_engine.stats()
+    # Every checkpoint the primary sent was either received or lost on
+    # the (lossless) link: counts match.
+    assert primary_stats["checkpoints_tx"] == backup_stats["checkpoints_rx"]
+    assert primary_stats["acks_rx"] == backup_stats["checkpoints_rx"]
+    assert backup_stats["checkpoints_tx"] == 0  # backup app is not running
+
+
+def test_first_fired_helper():
+    from repro.simnet.events import first_fired
+
+    assert first_fired((2, "value")) == 2
+    assert first_fired(None) is None

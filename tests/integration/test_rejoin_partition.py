@@ -1,0 +1,98 @@
+"""Integration tests: node rejoin, repeated failovers, partitions."""
+
+from repro.core.roles import Role
+from repro.faults import NetworkPartition, NodeFailure, NodeReboot
+from repro.faults.injector import FaultInjector
+from repro.harness.scenario import build_demo
+
+from tests.core.util import make_pair_world
+
+
+def test_failover_then_rejoin_then_failback():
+    """Kill A -> B takes over; repair A (rejoins as backup); kill B -> A
+    takes over again with B's state."""
+    world = make_pair_world(seed=31)
+    world.start()
+    world.run_for(5_000.0)
+    node_a = world.primary
+    node_b = world.backup
+    injector = FaultInjector(world.kernel, world)
+
+    injector.inject_now(NodeFailure(node_a))
+    world.run_for(3_000.0)
+    assert world.primary == node_b
+
+    injector.inject_now(NodeReboot(node_a, reinstall=True))
+    world.run_for(5_000.0)
+    assert world.pair.engines[node_a].role is Role.BACKUP
+    ticks_on_b = world.pair.apps[node_b].ticks()
+    world.run_for(3_000.0)
+
+    injector.inject_now(NodeFailure(node_b))
+    world.run_for(3_000.0)
+    assert world.primary == node_a
+    app = world.pair.apps[node_a]
+    assert app.running
+    assert app.ticks() >= ticks_on_b - 25  # state carried across two hops
+
+
+def test_many_alternating_failovers():
+    """Five kill/repair cycles: the pair must keep converging."""
+    world = make_pair_world(seed=32)
+    world.start()
+    world.run_for(3_000.0)
+    injector = FaultInjector(world.kernel, world)
+    for _round in range(5):
+        victim = world.primary
+        injector.inject_now(NodeFailure(victim))
+        world.run_for(3_000.0)
+        assert world.primary is not None
+        assert world.primary != victim
+        injector.inject_now(NodeReboot(victim, reinstall=True))
+        world.run_for(6_000.0)
+        assert world.pair.is_stable()
+    # Progress never went backwards beyond a checkpoint window per hop.
+    assert world.pair.apps[world.primary].ticks() > 0
+
+
+def test_partition_creates_then_resolves_dual_primary():
+    """Full partition: the backup promotes (dual primary while split);
+    healing demotes exactly one side and stops its app copy."""
+    world = make_pair_world(seed=33)
+    world.start()
+    world.run_for(3_000.0)
+    primary = world.primary
+    backup = world.backup
+    injector = FaultInjector(world.kernel, world)
+    injector.inject_now(NetworkPartition([primary], [backup]))
+    world.run_for(3_000.0)
+    roles = {n: world.pair.engines[n].role for n in ("alpha", "beta")}
+    assert list(roles.values()).count(Role.PRIMARY) == 2  # split brain window
+    world.partitions.heal_all()
+    world.run_for(3_000.0)
+    roles_after = {n: world.pair.engines[n].role for n in ("alpha", "beta")}
+    assert sorted(role.value for role in roles_after.values()) == ["backup", "primary"]
+    # Only the surviving primary runs its copy.
+    assert world.pair.running_app_nodes() == [world.primary]
+    # The promoted side (higher incarnation) wins the resolution.
+    assert world.primary == backup
+
+
+def test_partition_of_demo_testbed_keeps_monitor_informed():
+    demo = build_demo(seed=34)
+    demo.start()
+    demo.run_for(10_000.0)
+    primary = demo.pair.primary_node()
+    backup = demo.pair.backup_node()
+    # Partition both LANs between the pair members only; test-pc keeps
+    # seeing both sides on lan0 (its only link).
+    demo.partitions.split("lan0", [primary], [backup, "test-pc"])
+    demo.partitions.split("lan1", [primary], [backup])
+    demo.run_for(5_000.0)
+    demo.partitions.heal_all()
+    demo.run_for(10_000.0)
+    assert demo.pair.is_stable()
+    assert demo.monitor.current_primary() == demo.pair.primary_node()
+    # Telephone events kept flowing the whole time.
+    app = demo.primary_app()
+    assert app.events_processed() > 0

@@ -1,0 +1,49 @@
+"""Scenario builder knobs: single-LAN mode, workload sizing, configs."""
+
+from repro.core.config import OfttConfig, replace_config
+from repro.harness.scenario import build_demo, build_remote_monitoring
+
+
+def test_single_lan_demo_still_works():
+    demo = build_demo(seed=111, dual_lan=False)
+    assert list(demo.network.links) == ["lan0"]
+    demo.start()
+    demo.run_for(20_000.0)
+    assert demo.pair.is_stable()
+    assert demo.primary_app().events_processed() > 0
+
+
+def test_custom_telephone_sizing():
+    demo = build_demo(seed=112, lines=3, callers=6, mean_idle=1_000.0, mean_call=2_000.0)
+    demo.start()
+    demo.run_for(60_000.0)
+    assert demo.telephone.line_count == 3
+    assert all(event.busy_lines <= 3 for event in demo.history.history)
+    app = demo.primary_app()
+    assert set(app.histogram()) == {0, 1, 2, 3}
+
+
+def test_custom_config_flows_through_pair():
+    config = replace_config(OfttConfig(), checkpoint_period=250.0)
+    demo = build_demo(seed=113, config=config)
+    demo.start()
+    demo.run_for(10_000.0)
+    app = demo.primary_app()
+    # ~4 periodic checkpoints per second (plus event-based saves).
+    assert app.api.ftim.checkpoint_period == 250.0
+    assert app.api.ftim.checkpoints_taken >= 30
+
+
+def test_remote_monitoring_update_rate_knob():
+    fast = build_remote_monitoring(seed=114, update_rate=100.0)
+    slow = build_remote_monitoring(seed=114, update_rate=1_000.0)
+    for scenario in (fast, slow):
+        scenario.start()
+        scenario.run_for(20_000.0)
+    assert fast.primary_app().updates_seen() > slow.primary_app().updates_seen() * 2
+
+
+def test_demo_nodes_have_dual_nics_test_pc_single():
+    demo = build_demo(seed=115)
+    assert set(demo.network.nodes["node1"].nics) == {"lan0", "lan1"}
+    assert set(demo.network.nodes["test-pc"].nics) == {"lan0"}

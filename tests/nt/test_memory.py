@@ -1,0 +1,124 @@
+"""Unit tests for address spaces and the memory walkthrough."""
+
+import pytest
+
+from repro.errors import AccessViolation
+from repro.nt.memory import GLOBAL, HEAP, STACK, AddressSpace, MemoryRegion
+
+
+def test_globals_region_always_present():
+    space = AddressSpace("app")
+    assert space.has_region("globals")
+    assert space.globals.kind == GLOBAL
+
+
+def test_write_read_roundtrip():
+    space = AddressSpace("app")
+    space.write("x", {"nested": [1, 2, 3]})
+    assert space.read("x") == {"nested": [1, 2, 3]}
+
+
+def test_read_unmapped_variable_faults():
+    space = AddressSpace("app")
+    with pytest.raises(AccessViolation):
+        space.read("missing")
+
+
+def test_region_management():
+    space = AddressSpace("app")
+    space.map_region("heap1", HEAP)
+    space.write("v", 1, region="heap1")
+    assert space.read("v", region="heap1") == 1
+    space.unmap_region("heap1")
+    with pytest.raises(AccessViolation):
+        space.region("heap1")
+    with pytest.raises(AccessViolation):
+        space.unmap_region("heap1")
+
+
+def test_duplicate_region_rejected():
+    space = AddressSpace("app")
+    space.map_region("r")
+    with pytest.raises(AccessViolation):
+        space.map_region("r")
+
+
+def test_unknown_region_kind_rejected():
+    with pytest.raises(AccessViolation):
+        MemoryRegion("r", kind="exotic")
+
+
+def test_protected_region_rejects_writes():
+    region = MemoryRegion("r")
+    region.write("a", 1)
+    region.protected = True
+    with pytest.raises(AccessViolation):
+        region.write("a", 2)
+    with pytest.raises(AccessViolation):
+        region.delete("a")
+    assert region.read("a") == 1
+
+
+def test_snapshot_is_deep_copy():
+    region = MemoryRegion("r")
+    region.write("list", [1, 2])
+    snapshot = region.snapshot()
+    snapshot["list"].append(3)
+    assert region.read("list") == [1, 2]
+
+
+def test_restore_replaces_contents():
+    region = MemoryRegion("r")
+    region.write("old", 1)
+    region.restore({"new": 2})
+    assert "old" not in region
+    assert region.read("new") == 2
+
+
+def test_walkthrough_covers_all_kinds_by_default():
+    space = AddressSpace("app")
+    space.write("g", 1)
+    space.map_region("h", HEAP).write("hv", 2)
+    space.map_region("s", STACK).write("sv", 3)
+    image = space.walkthrough()
+    assert image == {"globals": {"g": 1}, "h": {"hv": 2}, "s": {"sv": 3}}
+
+
+def test_walkthrough_kind_filter():
+    space = AddressSpace("app")
+    space.write("g", 1)
+    space.map_region("s", STACK).write("sv", 3)
+    image = space.walkthrough(kinds=[STACK])
+    assert image == {"s": {"sv": 3}}
+
+
+def test_restore_walkthrough_creates_missing_regions():
+    space = AddressSpace("app")
+    space.restore_walkthrough({"globals": {"a": 1}, "extra": {"b": 2}})
+    assert space.read("a") == 1
+    assert space.read("b", region="extra") == 2
+
+
+def test_walkthrough_restore_roundtrip():
+    source = AddressSpace("src")
+    source.write("counter", 41)
+    source.map_region("heap", HEAP).write("data", {"k": [1, 2]})
+    image = source.walkthrough()
+
+    target = AddressSpace("dst")
+    target.restore_walkthrough(image)
+    assert target.walkthrough() == image
+
+
+def test_size_estimate_grows_with_content():
+    space = AddressSpace("app")
+    empty = space.size_bytes()
+    space.write("blob", "x" * 10_000)
+    assert space.size_bytes() > empty + 9_000
+
+
+def test_region_variables_sorted():
+    region = MemoryRegion("r")
+    for name in ("zeta", "alpha", "mid"):
+        region.write(name, 0)
+    assert region.variables() == ["alpha", "mid", "zeta"]

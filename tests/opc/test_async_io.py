@@ -1,0 +1,123 @@
+"""Unit tests for OPC asynchronous I/O (IOPCAsyncIO2)."""
+
+import pytest
+
+from repro.com.runtime import ComRuntime
+from repro.errors import OpcError
+from repro.opc.client import OpcClient
+from repro.opc.server import OpcServer
+
+from tests.conftest import make_world
+
+
+def make_env():
+    world = make_world()
+    server_sys = world.add_machine("server")
+    client_sys = world.add_machine("client")
+    server_rt = ComRuntime(server_sys, world.network)
+    client_rt = ComRuntime(client_sys, world.network)
+    server = OpcServer(server_rt, "OPC.A.1")
+    server.namespace.define_simple("a", 5.0)
+    server.namespace.define_simple("sp", 0.0, access="read_write")
+    return world, server, server_rt.export(server), client_rt, server_rt
+
+
+def drive(world, generator, duration=5_000.0):
+    outcome = {}
+
+    def runner():
+        outcome["value"] = yield from generator
+
+    world.kernel.spawn(runner())
+    world.run_for(duration)
+    return outcome
+
+
+def test_async_read_completes_via_callback_remote():
+    world, server, server_ref, client_rt, _server_rt = make_env()
+    client = OpcClient(client_rt, "c")
+    completions = []
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        group = yield from client.add_group("g")
+        handles = yield from group.add_items(["a"])
+        group.set_callback(lambda name, batch: None)
+        transaction = yield from group.async_read(
+            handles, lambda tid, values: completions.append((tid, values))
+        )
+        return transaction
+
+    outcome = drive(world, use())
+    assert completions
+    tid, values = completions[0]
+    assert tid == outcome["value"]
+    assert values[0][1] == "a"
+    assert values[0][2].value == 5.0
+
+
+def test_async_write_reports_per_handle_outcomes():
+    world, server, server_ref, client_rt, _server_rt = make_env()
+    writes_applied = []
+    server.namespace.on_write("sp", lambda item, value: writes_applied.append(value))
+    client = OpcClient(client_rt, "c")
+    completions = []
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        group = yield from client.add_group("g")
+        handles = yield from group.add_items(["sp", "a"])  # "a" is read-only
+        group.set_callback(lambda name, batch: None)
+        yield from group.async_write(
+            [(handles[0], 9.0), (handles[1], 1.0)],
+            lambda tid, outcomes: completions.append(outcomes),
+        )
+
+    drive(world, use())
+    assert writes_applied == [9.0]
+    assert completions
+    outcomes = dict(completions[0])
+    assert list(outcomes.values()).count(True) == 1  # sp succeeded
+    assert list(outcomes.values()).count(False) == 1  # read-only "a" failed
+
+
+def test_async_read_requires_callback():
+    world, server, _ref, _client_rt, _server_rt = make_env()
+    group = server.AddGroup("g")
+    handles = group.AddItems(["a"])
+    with pytest.raises(OpcError, match="without a data callback"):
+        group.AsyncRead(handles)
+
+
+def test_async_read_unknown_handle_rejected():
+    world, server, _ref, _client_rt, _server_rt = make_env()
+    group = server.AddGroup("g")
+    group.SetDataCallback(lambda name, batch: None)
+    with pytest.raises(OpcError):
+        group.AsyncRead([999])
+
+
+def test_async_read_local_sink_through_client():
+    world, server, _ref, _client_rt, server_rt = make_env()
+    client = OpcClient(server_rt, "local")
+    client.connect_local(server)
+    completions = []
+
+    def use():
+        group = yield from client.add_group("g")
+        handles = yield from group.add_items(["a"])
+        group.set_callback(lambda name, batch: None)
+        yield from group.async_read(handles, lambda tid, values: completions.append(values))
+
+    drive(world, use())
+    assert completions and completions[0][0][2].value == 5.0
+
+
+def test_transaction_ids_unique_per_read():
+    world, server, _ref, _client_rt, _server_rt = make_env()
+    group = server.AddGroup("g")
+    handles = group.AddItems(["a"])
+    group.SetDataCallback(lambda name, batch: None)
+    first = group.AsyncRead(handles)
+    second = group.AsyncRead(handles)
+    assert first != second

@@ -1,0 +1,127 @@
+"""Unit tests for the OPC client helper (local and remote modes)."""
+
+import pytest
+
+from repro.com.runtime import ComRuntime
+from repro.errors import OpcError
+from repro.opc.client import OpcClient
+from repro.opc.server import OpcServer
+
+from tests.conftest import make_world
+
+
+def make_env():
+    world = make_world()
+    server_sys = world.add_machine("server")
+    client_sys = world.add_machine("client")
+    server_rt = ComRuntime(server_sys, world.network)
+    client_rt = ComRuntime(client_sys, world.network)
+    server = OpcServer(server_rt, "OPC.T.1")
+    for item_id in ("plc.a", "plc.b"):
+        server.namespace.define_simple(item_id, 0.0)
+    server.namespace.define_simple("plc.sp", 0.0, access="read_write")
+    return world, server, server_rt, client_rt
+
+
+def drive(world, generator, duration=5_000.0):
+    outcome = {}
+
+    def runner():
+        outcome["value"] = yield from generator
+    world.kernel.spawn(runner())
+    world.run_for(duration)
+    return outcome
+
+
+def test_local_mode_read_write_and_groups():
+    world, server, server_rt, _client_rt = make_env()
+    client = OpcClient(server_rt, "local-client")
+    client.connect_local(server)
+    assert client.connected
+
+    received = []
+
+    def use():
+        group = yield from client.add_group("g", update_rate=50.0)
+        handles = yield from group.add_items(["plc.a"])
+        group.set_callback(lambda name, batch: received.append(batch))
+        values = yield from group.sync_read(handles)
+        writes = []
+        server.namespace.on_write("plc.sp", lambda item, value: writes.append(value))
+        yield from client.write_items([("plc.sp", 9.0)])
+        return values, writes
+
+    outcome = drive(world, use())
+    server.update_item("plc.a", 42.0)
+    world.run_for(200.0)
+    values, writes = outcome["value"]
+    assert values[0].value == 0.0
+    assert writes == [9.0]
+    assert received and received[0][0][2].value == 42.0
+
+
+def test_remote_mode_end_to_end():
+    world, server, server_rt, client_rt = make_env()
+    server_ref = server_rt.export(server, label="opc")
+    client = OpcClient(client_rt, "remote-client")
+    received = []
+
+    def use():
+        status = yield from client.connect_remote(server_ref)
+        group = yield from client.add_group("g", update_rate=50.0)
+        handles = yield from group.add_items(["plc.a", "plc.b"])
+        group.set_callback(lambda name, batch: received.append(batch))
+        values = yield from group.sync_read(handles)
+        return status, values
+
+    outcome = drive(world, use())
+    status, values = outcome["value"]
+    assert status["name"] == "OPC.T.1"
+    assert [v.value for v in values] == [0.0, 0.0]
+    server.update_item("plc.b", 7.0)
+    world.run_for(500.0)
+    assert received and received[0][0][2].value == 7.0
+
+
+def test_remote_group_less_read():
+    world, server, server_rt, client_rt = make_env()
+    server.update_item("plc.a", 5.5)
+    server_ref = server_rt.export(server)
+    client = OpcClient(client_rt, "c")
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        values = yield from client.read_items(["plc.a"])
+        return values
+
+    outcome = drive(world, use())
+    assert outcome["value"][0].value == 5.5
+
+
+def test_disconnected_client_rejects_operations():
+    world, _server, _server_rt, client_rt = make_env()
+    client = OpcClient(client_rt, "c")
+    with pytest.raises(OpcError):
+        list(client.read_items(["plc.a"]))
+
+
+def test_sink_routing_per_group():
+    world, server, server_rt, _client_rt = make_env()
+    client = OpcClient(server_rt, "c")
+    client.connect_local(server)
+    seen = {"g1": [], "g2": []}
+
+    def use():
+        group1 = yield from client.add_group("g1", update_rate=10.0)
+        group2 = yield from client.add_group("g2", update_rate=10.0)
+        yield from group1.add_items(["plc.a"])
+        yield from group2.add_items(["plc.b"])
+        group1.set_callback(lambda name, batch: seen["g1"].append(batch))
+        group2.set_callback(lambda name, batch: seen["g2"].append(batch))
+
+    drive(world, use())
+    server.update_item("plc.a", 1.0)
+    server.update_item("plc.b", 2.0)
+    world.run_for(100.0)
+    assert seen["g1"][0][0][1] == "plc.a"
+    assert seen["g2"][0][0][1] == "plc.b"

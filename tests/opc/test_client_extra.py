@@ -1,0 +1,137 @@
+"""Additional OPC client coverage: remote item management, writes,
+activation flags, server status, and failure paths."""
+
+import pytest
+
+from repro.com.runtime import ComRuntime
+from repro.errors import RpcError
+from repro.opc.client import OpcClient
+from repro.opc.server import OpcServer
+
+from tests.conftest import make_world
+
+
+def make_env():
+    world = make_world()
+    server_sys = world.add_machine("server")
+    client_sys = world.add_machine("client")
+    server_rt = ComRuntime(server_sys, world.network)
+    client_rt = ComRuntime(client_sys, world.network)
+    server = OpcServer(server_rt, "OPC.E.1")
+    server.namespace.define_simple("a", 1.0)
+    server.namespace.define_simple("b", 2.0)
+    server.namespace.define_simple("sp", 0.0, access="read_write")
+    server_ref = server_rt.export(server)
+    return world, server, server_ref, client_rt
+
+
+def drive(world, generator, duration=5_000.0):
+    outcome = {}
+
+    def runner():
+        outcome["value"] = yield from generator
+
+    world.kernel.spawn(runner())
+    world.run_for(duration)
+    return outcome
+
+
+def test_remote_remove_items():
+    world, server, server_ref, client_rt = make_env()
+    client = OpcClient(client_rt, "c")
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        group = yield from client.add_group("g")
+        handles = yield from group.add_items(["a", "b"])
+        yield from group.remove_items([handles[0]])
+        return group
+
+    outcome = drive(world, use())
+    group_handle = outcome["value"]
+    assert list(group_handle.handles.values()) == ["b"]
+    assert len(server.GetGroupByName("g").items) == 1
+
+
+def test_remote_sync_write_through_group():
+    world, server, server_ref, client_rt = make_env()
+    writes = []
+    server.namespace.on_write("sp", lambda item, value: writes.append(value))
+    client = OpcClient(client_rt, "c")
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        group = yield from client.add_group("g")
+        handles = yield from group.add_items(["sp"])
+        yield from group.sync_write([(handles[0], 42.0)])
+
+    drive(world, use())
+    assert writes == [42.0]
+
+
+def test_remote_set_active():
+    world, server, server_ref, client_rt = make_env()
+    client = OpcClient(client_rt, "c")
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        group = yield from client.add_group("g")
+        yield from group.set_active(False)
+
+    drive(world, use())
+    assert server.GetGroupByName("g").active is False
+
+
+def test_remote_server_status_and_write_items():
+    world, server, server_ref, client_rt = make_env()
+    writes = []
+    server.namespace.on_write("sp", lambda item, value: writes.append(value))
+    client = OpcClient(client_rt, "c")
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        status = yield from client.server_status()
+        yield from client.write_items([("sp", 7.0)])
+        return status
+
+    outcome = drive(world, use())
+    assert outcome["value"]["name"] == "OPC.E.1"
+    assert writes == [7.0]
+
+
+def test_connect_remote_to_dead_server_raises():
+    world, server, server_ref, client_rt = make_env()
+    world.systems["server"].power_off()
+    client = OpcClient(client_rt, "c")
+
+    def use():
+        try:
+            yield from client.connect_remote(server_ref)
+            return "connected"
+        except RpcError:
+            return "failed"
+
+    outcome = drive(world, use(), duration=10_000.0)
+    assert outcome["value"] == "failed"
+
+
+def test_group_handle_repr_modes():
+    world, server, server_ref, client_rt = make_env()
+    client = OpcClient(client_rt, "c")
+
+    def use():
+        yield from client.connect_remote(server_ref)
+        group = yield from client.add_group("g")
+        return group
+
+    outcome = drive(world, use())
+    assert outcome["value"].is_remote
+    local_client = OpcClient(client_rt, "lc")
+    local_client.connect_local(server)
+
+    def use_local():
+        group = yield from local_client.add_group("g2")
+        return group
+
+    outcome2 = drive(world, use_local())
+    assert not outcome2["value"].is_remote

@@ -1,0 +1,177 @@
+"""Unit tests for the OPC server and group subscription machinery."""
+
+import pytest
+
+from repro.com.runtime import ComRuntime
+from repro.errors import OpcError
+from repro.opc.server import OpcServer, ServerState
+from repro.opc.types import Quality
+
+from tests.conftest import make_world
+
+
+def make_server():
+    world = make_world()
+    system = world.add_machine("host")
+    runtime = ComRuntime(system, world.network)
+    server = OpcServer(runtime, "OPC.Test.1")
+    for item_id in ("plc.temp", "plc.flow"):
+        server.namespace.define_simple(item_id, 0.0)
+    return world, server
+
+
+def test_server_status_block():
+    world, server = make_server()
+    status = server.GetStatus()
+    assert status["name"] == "OPC.Test.1"
+    assert status["state"] == ServerState.NO_CONFIG.value
+    server.update_item("plc.temp", 21.0)
+    assert server.GetStatus()["state"] == ServerState.RUNNING.value
+    assert server.GetStatus()["item_count"] == 2
+
+
+def test_group_add_remove():
+    world, server = make_server()
+    server.AddGroup("g1")
+    with pytest.raises(OpcError):
+        server.AddGroup("g1")
+    assert server.GetGroupByName("g1") is not None
+    server.RemoveGroup("g1")
+    with pytest.raises(OpcError):
+        server.GetGroupByName("g1")
+    with pytest.raises(OpcError):
+        server.RemoveGroup("g1")
+
+
+def test_group_add_items_validates_and_returns_handles():
+    world, server = make_server()
+    group = server.AddGroup("g")
+    handles = group.AddItems(["plc.temp", "plc.flow"])
+    assert len(handles) == len(set(handles)) == 2
+    with pytest.raises(Exception):
+        group.AddItems(["no.such.item"])
+
+
+def test_sync_read_returns_wire_values():
+    world, server = make_server()
+    group = server.AddGroup("g")
+    handles = group.AddItems(["plc.temp"])
+    server.update_item("plc.temp", 33.3)
+    values = group.SyncRead(handles)
+    assert values[0]["value"] == 33.3
+    assert values[0]["quality"] == "good"
+
+
+def test_sync_read_unknown_handle_rejected():
+    world, server = make_server()
+    group = server.AddGroup("g")
+    with pytest.raises(OpcError):
+        group.SyncRead([999])
+
+
+def test_data_change_callback_batched_at_update_rate():
+    world, server = make_server()
+    group = server.AddGroup("g", update_rate=100.0)
+    handles = group.AddItems(["plc.temp"])
+    batches = []
+    group.SetDataCallback(lambda name, batch: batches.append((world.kernel.now, batch)))
+    # Three rapid updates within one update period -> one batch.
+    server.update_item("plc.temp", 1.0)
+    server.update_item("plc.temp", 2.0)
+    server.update_item("plc.temp", 3.0)
+    world.run_for(150.0)
+    assert len(batches) == 1
+    _time, batch = batches[0]
+    assert batch[0][2]["value"] == 3.0  # latest value wins within the batch
+
+
+def test_inactive_group_suppresses_callbacks():
+    world, server = make_server()
+    group = server.AddGroup("g", update_rate=50.0)
+    group.AddItems(["plc.temp"])
+    batches = []
+    group.SetDataCallback(lambda name, batch: batches.append(batch))
+    group.SetActive(False)
+    server.update_item("plc.temp", 1.0)
+    world.run_for(200.0)
+    assert batches == []
+    group.SetActive(True)
+    server.update_item("plc.temp", 2.0)
+    world.run_for(200.0)
+    assert len(batches) == 1
+
+
+def test_deadband_suppresses_small_changes():
+    world, server = make_server()
+    group = server.AddGroup("g", update_rate=50.0, deadband=10.0)  # 10 %
+    group.AddItems(["plc.temp"])
+    batches = []
+    group.SetDataCallback(lambda name, batch: batches.append(batch))
+    server.update_item("plc.temp", 100.0)
+    world.run_for(100.0)
+    server.update_item("plc.temp", 101.0)  # ~1 % change: suppressed
+    world.run_for(100.0)
+    server.update_item("plc.temp", 150.0)  # big change: reported
+    world.run_for(100.0)
+    reported = [batch[0][2]["value"] for batch in batches]
+    assert reported == [100.0, 150.0]
+
+
+def test_deadband_quality_change_always_reported():
+    world, server = make_server()
+    group = server.AddGroup("g", update_rate=50.0, deadband=50.0)
+    group.AddItems(["plc.temp"])
+    batches = []
+    group.SetDataCallback(lambda name, batch: batches.append(batch))
+    server.update_item("plc.temp", 100.0)
+    world.run_for(100.0)
+    server.update_item("plc.temp", 100.0, quality=Quality.BAD_DEVICE_FAILURE)
+    world.run_for(100.0)
+    assert len(batches) == 2
+
+
+def test_remove_items_stops_their_notifications():
+    world, server = make_server()
+    group = server.AddGroup("g", update_rate=50.0)
+    handles = group.AddItems(["plc.temp", "plc.flow"])
+    batches = []
+    group.SetDataCallback(lambda name, batch: batches.append(batch))
+    group.RemoveItems([handles[0]])
+    server.update_item("plc.temp", 5.0)
+    server.update_item("plc.flow", 6.0)
+    world.run_for(100.0)
+    assert len(batches) == 1
+    assert batches[0][0][1] == "plc.flow"
+
+
+def test_comm_failure_marks_everything_bad():
+    world, server = make_server()
+    server.update_item("plc.temp", 1.0)
+    server.mark_comm_failure()
+    assert server.GetStatus()["state"] == ServerState.FAILED.value
+    assert server.namespace.read("plc.temp").quality is Quality.BAD_COMM_FAILURE
+    server.resume()
+    assert server.GetStatus()["state"] == ServerState.RUNNING.value
+
+
+def test_write_vqt_through_device_hook():
+    world, server = make_server()
+    server.namespace.define_simple("plc.setpoint", 0.0, access="read_write")
+    writes = []
+    server.namespace.on_write("plc.setpoint", lambda item, value: writes.append(value))
+    server.WriteVQT([("plc.setpoint", 55.0)])
+    assert writes == [55.0]
+
+
+def test_group_get_state():
+    world, server = make_server()
+    group = server.AddGroup("g", update_rate=250.0, deadband=5.0)
+    group.AddItems(["plc.temp"])
+    state = group.GetState()
+    assert state == {
+        "name": "g",
+        "update_rate": 250.0,
+        "deadband": 5.0,
+        "active": True,
+        "item_count": 1,
+    }

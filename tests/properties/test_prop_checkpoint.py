@@ -1,0 +1,101 @@
+"""Property-based tests: checkpoint serialization, store, incrementals."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.checkpoint import Checkpoint, CheckpointStore
+
+# Values that can live in application memory / cross the wire.
+scalars = st.one_of(
+    st.none(),
+    st.booleans(),
+    st.integers(min_value=-(2**31), max_value=2**31),
+    st.floats(allow_nan=False, allow_infinity=False),
+    st.text(max_size=20),
+)
+values = st.recursive(
+    scalars,
+    lambda children: st.one_of(
+        st.lists(children, max_size=4),
+        st.dictionaries(st.text(max_size=8), children, max_size=4),
+    ),
+    max_leaves=10,
+)
+images = st.dictionaries(
+    st.text(min_size=1, max_size=10),
+    st.dictionaries(st.text(min_size=1, max_size=10), values, max_size=5),
+    max_size=4,
+)
+
+
+@given(image=images, sequence=st.integers(min_value=1, max_value=10**6))
+def test_wire_roundtrip_identity(image, sequence):
+    checkpoint = Checkpoint(app_name="app", sequence=sequence, captured_at=1.0, image=image)
+    assert Checkpoint.from_wire(checkpoint.as_wire()) == checkpoint
+
+
+@given(st.lists(st.integers(min_value=1, max_value=100), min_size=1, max_size=30))
+def test_store_latest_is_max_of_accepted_sequences(sequences):
+    store = CheckpointStore(history=8)
+    accepted = []
+    for sequence in sequences:
+        if store.store(Checkpoint("app", sequence, 0.0, {"g": {"s": sequence}})):
+            accepted.append(sequence)
+    # Monotone acceptance: accepted sequence numbers strictly increase.
+    assert accepted == sorted(set(accepted))
+    if accepted:
+        assert store.latest("app").sequence == max(accepted)
+
+
+@given(
+    st.lists(st.integers(min_value=1, max_value=1000), min_size=1, max_size=50),
+    st.integers(min_value=1, max_value=5),
+)
+def test_store_history_bound_holds(sequences, history):
+    store = CheckpointStore(history=history)
+    for sequence in sequences:
+        store.store(Checkpoint("app", sequence, 0.0, {"g": {}}))
+    assert len(store.all_for("app")) <= history
+
+
+@given(
+    base=st.dictionaries(st.text(min_size=1, max_size=5), st.integers(), min_size=1, max_size=8),
+    delta=st.dictionaries(st.text(min_size=1, max_size=5), st.integers(), max_size=8),
+)
+def test_incremental_merge_equals_dict_update(base, delta):
+    base_cp = Checkpoint("app", 1, 0.0, {"globals": dict(base)})
+    delta_cp = Checkpoint("app", 2, 1.0, {"globals": dict(delta)}, incremental=True)
+    merged = delta_cp.merged_onto(base_cp)
+    expected = dict(base)
+    expected.update(delta)
+    assert merged.image["globals"] == expected
+    assert not merged.incremental
+
+
+@given(
+    snapshots=st.lists(
+        st.dictionaries(st.sampled_from(["a", "b", "c", "d"]), st.integers(), max_size=4),
+        min_size=1,
+        max_size=10,
+    )
+)
+@settings(max_examples=50)
+def test_incremental_chain_reconstructs_final_state(snapshots):
+    """Storing full-then-delta chains reproduces the last full snapshot."""
+    from repro.core.ftim import _image_delta
+
+    store = CheckpointStore(history=len(snapshots) + 1)
+    previous = {}
+    for index, snapshot in enumerate(snapshots, start=1):
+        if index == 1:
+            image = {"globals": dict(snapshot)}
+            incremental = False
+        else:
+            image = _image_delta({"globals": previous}, {"globals": dict(snapshot)})
+            incremental = True
+        store.store(Checkpoint("app", index, float(index), image, incremental=incremental))
+        previous = dict(snapshot)
+    final = store.latest("app").image.get("globals", {})
+    # Deleted keys are a known limitation of overlay deltas: every key
+    # ever written persists, but surviving keys carry the latest value.
+    for key, value in snapshots[-1].items():
+        assert final[key] == value

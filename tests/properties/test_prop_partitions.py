@@ -1,0 +1,54 @@
+"""Property-based test: partitions always resolve after healing.
+
+During a full partition a dual primary is *expected* (each side believes
+the other dead — the §3.2 concern).  The invariant is about what happens
+afterwards: for any schedule of partition windows, once the network heals
+and the pair settles, exactly one primary remains, exactly one copy runs,
+and the loser of the resolution stopped its application.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.roles import Role
+
+from tests.core.util import make_pair_world
+
+
+@st.composite
+def partition_schedules(draw):
+    windows = draw(st.integers(min_value=1, max_value=3))
+    schedule = []
+    for _ in range(windows):
+        start_gap = draw(st.floats(min_value=1_000.0, max_value=5_000.0))
+        duration = draw(st.floats(min_value=500.0, max_value=8_000.0))
+        schedule.append((start_gap, duration))
+    return schedule
+
+
+@given(schedule=partition_schedules(), seed=st.integers(min_value=0, max_value=2**16))
+@settings(max_examples=25, deadline=None)
+def test_partitions_always_resolve_to_single_primary(schedule, seed):
+    world = make_pair_world(seed=seed)
+    world.start()
+    world.run_for(3_000.0)
+
+    for start_gap, duration in schedule:
+        world.run_for(start_gap)
+        world.partitions.split_all(["alpha"], ["beta"])
+        world.run_for(duration)
+        world.partitions.heal_all()
+        world.run_for(8_000.0)  # resolution + restabilisation
+
+        primaries = [
+            name
+            for name in world.pair.node_names
+            if world.pair.engines[name].alive and world.pair.engines[name].role is Role.PRIMARY
+        ]
+        assert len(primaries) == 1, primaries
+        running = world.pair.running_app_nodes()
+        assert running == primaries, (running, primaries)
+        assert world.pair.is_stable()
+
+    # Incarnations agree after the final resolution.
+    incarnations = {world.pair.engines[name].negotiator.incarnation for name in world.pair.node_names}
+    assert len(incarnations) == 1

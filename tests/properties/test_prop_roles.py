@@ -1,0 +1,69 @@
+"""Property-based tests of role negotiation.
+
+Under arbitrary start skews, message latencies and retry budgets (with
+the GO_PRIMARY policy and a connected link), a pair must always converge
+to exactly one primary and one backup — never two primaries, never a
+deadlock — and with the SHUTDOWN policy it must never yield two primaries
+either (a node may shut down instead).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import GiveUpPolicy, OfttConfig, replace_config
+from repro.core.roles import Role
+
+from tests.core.test_roles import Harness
+
+
+@given(
+    skew=st.floats(min_value=0.0, max_value=5_000.0),
+    latency=st.floats(min_value=0.1, max_value=200.0),
+    wait=st.floats(min_value=100.0, max_value=1_500.0),
+    retries=st.integers(min_value=0, max_value=8),
+)
+@settings(max_examples=60, deadline=None)
+def test_connected_pair_always_converges_to_one_primary(skew, latency, wait, retries):
+    config = replace_config(
+        OfttConfig(),
+        startup_wait=wait,
+        startup_retries=retries,
+        give_up_policy=GiveUpPolicy.GO_PRIMARY,
+    )
+    harness = Harness(config=config, latency=latency)
+    harness.negotiators["alpha"].begin()
+    harness.kernel.schedule(skew, harness.negotiators["beta"].begin)
+    harness.kernel.run(until=skew + (retries + 2) * wait + 60_000.0)
+    roles = sorted(role.value for role in harness.roles().values())
+
+    if roles == ["primary", "primary"]:
+        # A transient dual-primary can only arise from the GO_PRIMARY
+        # race (both gave up in flight); it must self-resolve once they
+        # exchange announcements, which the heartbeat layer does in the
+        # real engine.  Emulate one exchange and require resolution.
+        for negotiator in harness.negotiators.values():
+            negotiator._announce()
+        harness.kernel.run(until=harness.kernel.now + 10 * latency + 1_000.0)
+        roles = sorted(role.value for role in harness.roles().values())
+    assert roles == ["backup", "primary"], roles
+
+
+@given(
+    skew=st.floats(min_value=0.0, max_value=5_000.0),
+    retries=st.integers(min_value=0, max_value=5),
+)
+@settings(max_examples=40, deadline=None)
+def test_shutdown_policy_never_yields_two_primaries(skew, retries):
+    config = replace_config(
+        OfttConfig(),
+        startup_wait=400.0,
+        startup_retries=retries,
+        give_up_policy=GiveUpPolicy.SHUTDOWN,
+    )
+    harness = Harness(config=config, latency=1.0)
+    harness.negotiators["alpha"].begin()
+    harness.kernel.schedule(skew, harness.negotiators["beta"].begin)
+    harness.kernel.run(until=skew + 60_000.0)
+    roles = [role.value for role in harness.roles().values()]
+    assert roles.count("primary") <= 1
+    # Every node reached a terminal state (no deadlock).
+    assert all(role is not Role.UNDECIDED for role in harness.roles().values())

@@ -1,0 +1,41 @@
+"""Unit tests for seeded random streams."""
+
+from repro.simnet.random import RngStreams
+
+
+def test_same_seed_same_sequence():
+    a = RngStreams(42).stream("network")
+    b = RngStreams(42).stream("network")
+    assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+
+def test_different_seeds_differ():
+    a = RngStreams(1).stream("network")
+    b = RngStreams(2).stream("network")
+    assert [a.random() for _ in range(5)] != [b.random() for _ in range(5)]
+
+
+def test_streams_are_independent():
+    """Drawing from one stream must not perturb another."""
+    reference_stream = RngStreams(7).stream("b")
+    reference = [reference_stream.random() for _ in range(5)]
+
+    streams = RngStreams(7)
+    for _ in range(100):
+        streams.stream("a").random()  # heavy use of an unrelated stream
+    values = [streams.stream("b").random() for _ in range(5)]
+    assert values == reference
+
+
+def test_stream_is_cached():
+    streams = RngStreams(0)
+    assert streams.stream("x") is streams.stream("x")
+
+
+def test_fork_gives_independent_family():
+    parent = RngStreams(3)
+    fork_a = parent.fork("child")
+    fork_b = RngStreams(3).fork("child")
+    assert fork_a.seed == fork_b.seed
+    assert fork_a.seed != parent.seed
+    assert fork_a.stream("s").random() == fork_b.stream("s").random()
