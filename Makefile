@@ -1,0 +1,17 @@
+# Developer entry points.  `make verify` is the CI gate: tier-1 tests
+# plus the static-analysis toolkit (see ANALYSIS.md).
+
+PY := PYTHONPATH=src python
+
+.PHONY: test lint lint-json verify
+
+test:
+	$(PY) -m pytest -x -q
+
+lint:
+	$(PY) -m repro.analysis src/repro --strict
+
+lint-json:
+	$(PY) -m repro.analysis src/repro --strict --format json
+
+verify: test lint

@@ -1,0 +1,41 @@
+"""Static-analysis toolkit guarding the simulation's reliability contracts.
+
+The kernel promises that two runs with the same seed produce identical
+traces (:mod:`repro.simnet.kernel`), and the COM layer promises that every
+remotable object honours its declared interfaces
+(:mod:`repro.com.object`).  Nothing in Python enforces either promise: one
+stray ``time.time()`` or an undeclared CamelCase method silently breaks
+replay or the marshalling contract.  This package machine-checks both,
+plus a third hazard class — same-timestamp event handlers whose relative
+order is fixed only by the kernel's sequence-number tiebreak.
+
+Three passes run over the source tree (``python -m repro.analysis src/repro``):
+
+* :mod:`repro.analysis.determinism` — wall-clock, ambient entropy,
+  unordered fan-out, and other seed-replay hazards (``DET*`` rules).
+* :mod:`repro.analysis.comcheck` — ``ComObject`` subclasses cross-checked
+  against their ``InterfaceDecl``s, HRESULT discipline (``COM*`` rules).
+* :mod:`repro.analysis.races` — approximate read/write sets for scheduled
+  callbacks that can tie at equal sim time (``RACE*`` rules).
+
+Findings carry a rule id, slug, severity and ``file:line``; deliberate
+violations are silenced in place with ``# oftt-lint: ok[slug]`` comments
+(see :mod:`repro.analysis.suppress`).  The rule catalogue lives in
+``ANALYSIS.md`` at the repo root.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.findings import Finding, Rule, Severity, all_rules, rule
+from repro.analysis.walker import SourceFile, load_sources, run_passes
+
+__all__ = [
+    "Finding",
+    "Rule",
+    "Severity",
+    "SourceFile",
+    "all_rules",
+    "load_sources",
+    "rule",
+    "run_passes",
+]

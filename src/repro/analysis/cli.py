@@ -1,0 +1,95 @@
+"""Command-line driver: ``python -m repro.analysis`` / ``oftt-lint``.
+
+Exit-code contract (relied on by ``make verify`` and the dogfood test):
+
+* ``0`` — no gating findings (errors; plus warnings under ``--strict``)
+* ``1`` — at least one gating finding
+* ``2`` — usage or internal error (bad path, unknown pass)
+
+Examples::
+
+    python -m repro.analysis src/repro                # all passes, text
+    python -m repro.analysis src/repro --format json  # machine output
+    python -m repro.analysis src examples --passes det,race --strict
+    oftt-lint --list-rules
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Dict, List, Optional, Sequence
+
+from repro.analysis import comcheck, determinism, races
+from repro.analysis.findings import AnalysisError, Severity, all_rules
+from repro.analysis.report import render_json, render_text
+from repro.analysis.walker import Pass, load_sources, run_passes
+
+#: Registered passes, in execution order.
+PASSES: Dict[str, Pass] = {
+    "det": determinism.run,
+    "com": comcheck.run,
+    "race": races.run,
+}
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="oftt-lint",
+        description="Determinism linter, COM contract checker, and sim race detector.",
+    )
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to analyse (default: src/repro)")
+    parser.add_argument("--passes", default="det,com,race", metavar="NAMES",
+                        help="comma-separated subset of det,com,race (default: all)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--json", action="store_const", const="json", dest="format",
+                        help="shorthand for --format json")
+    parser.add_argument("--strict", action="store_true",
+                        help="warnings gate the exit code too")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule catalogue and exit")
+    return parser
+
+
+def list_rules() -> str:
+    lines = []
+    for entry in all_rules():
+        lines.append(f"{entry.rule_id}  {entry.slug:24s} {str(entry.severity):8s} [{entry.pass_name}] {entry.summary}")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.list_rules:
+        print(list_rules())
+        return 0
+
+    pass_names = [name.strip() for name in options.passes.split(",") if name.strip()]
+    try:
+        selected: List[Pass] = []
+        for name in pass_names:
+            if name not in PASSES:
+                raise AnalysisError(f"unknown pass {name!r} (choose from {', '.join(PASSES)})")
+            selected.append(PASSES[name])
+        files, load_findings = load_sources(options.paths or ["src/repro"])
+    except AnalysisError as exc:
+        print(f"oftt-lint: {exc}", file=sys.stderr)
+        return 2
+
+    findings = run_passes(files, selected)
+    findings = sorted(load_findings + findings, key=lambda f: f.sort_key())
+
+    if options.format == "json":
+        sys.stdout.write(render_json(findings, len(files), pass_names))
+    else:
+        print(render_text(findings, len(files), pass_names))
+
+    gate = Severity.WARNING if options.strict else Severity.ERROR
+    return 1 if any(f.severity >= gate for f in findings) else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,48 @@
+"""Finding reporters: human text and machine JSON.
+
+The JSON schema (``repro.analysis/v1``) is a stability contract — CI
+tooling and the self-tests key on it.  Extend it by adding keys, never by
+renaming or removing them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence
+
+from repro.analysis.findings import Finding, Severity
+
+JSON_SCHEMA = "repro.analysis/v1"
+
+
+def severity_counts(findings: Sequence[Finding]) -> Dict[str, int]:
+    """``{"error": n, "warning": n, "info": n}`` (always all three keys)."""
+    counts = {str(severity): 0 for severity in sorted(Severity, reverse=True)}
+    for finding in findings:
+        counts[str(finding.severity)] += 1
+    return counts
+
+
+def render_text(findings: Sequence[Finding], files_scanned: int, passes: Sequence[str]) -> str:
+    """One line per finding plus a summary trailer."""
+    lines = [finding.render() for finding in findings]
+    counts = severity_counts(findings)
+    summary = (
+        f"{len(findings)} finding(s) "
+        f"({counts['error']} error, {counts['warning']} warning, {counts['info']} info) "
+        f"in {files_scanned} file(s); passes: {', '.join(passes)}"
+    )
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: Sequence[Finding], files_scanned: int, passes: Sequence[str]) -> str:
+    """Stable JSON document (sorted keys, newline-terminated)."""
+    document = {
+        "schema": JSON_SCHEMA,
+        "passes": list(passes),
+        "files": files_scanned,
+        "counts": severity_counts(findings),
+        "findings": [finding.as_json() for finding in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

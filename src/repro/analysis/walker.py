@@ -1,0 +1,147 @@
+"""Shared AST infrastructure: source loading and pass orchestration.
+
+A :class:`SourceFile` bundles one parsed module with its suppression
+state; :func:`load_sources` walks the argument paths in sorted order so
+reports are byte-stable across runs (the toolkit holds itself to the
+determinism bar it enforces).  Passes are plain callables taking the full
+file list — the COM and race passes need project-wide context (interface
+declarations, class tables), so per-file visitors would not do.
+"""
+
+from __future__ import annotations
+
+# oftt-lint: file-ok[ambient-io] -- the analyzer is a host-side tool; it
+# exists to read the filesystem.
+
+import ast
+import os
+from dataclasses import dataclass, field
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.analysis.findings import SYNTAX_RULE, AnalysisError, Finding
+from repro.analysis.suppress import Suppressions, parse_suppressions
+
+
+@dataclass
+class SourceFile:
+    """One module under analysis."""
+
+    path: str  # as reported (relative to the invocation cwd)
+    source: str
+    tree: Optional[ast.Module]  # None when the file does not parse
+    suppressions: Suppressions
+
+    @property
+    def module_name(self) -> str:
+        """Dotted module guess from the path (best effort, for messages)."""
+        trimmed = self.path[:-3] if self.path.endswith(".py") else self.path
+        parts = [part for part in trimmed.replace(os.sep, "/").split("/") if part not in ("", ".", "src")]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+
+#: A pass: (files) -> findings.  Registered in cli.PASSES.
+Pass = Callable[[Sequence[SourceFile]], List[Finding]]
+
+
+def _iter_python_files(path: str) -> Iterable[str]:
+    if os.path.isfile(path):
+        yield path
+        return
+    if not os.path.isdir(path):
+        raise AnalysisError(f"no such file or directory: {path}")
+    for dirpath, dirnames, filenames in os.walk(path):
+        dirnames[:] = sorted(d for d in dirnames if not d.startswith(".") and d != "__pycache__" and not d.endswith(".egg-info"))
+        for filename in sorted(filenames):
+            if filename.endswith(".py"):
+                yield os.path.join(dirpath, filename)
+
+
+def load_sources(paths: Sequence[str]) -> Tuple[List[SourceFile], List[Finding]]:
+    """Load every ``*.py`` under *paths*; returns (files, parse findings).
+
+    Files flagged ``skip-file`` are dropped here so no pass sees them.
+    """
+    files: List[SourceFile] = []
+    findings: List[Finding] = []
+    seen: Dict[str, bool] = {}
+    for path in paths:
+        for filename in _iter_python_files(path):
+            if filename in seen:
+                continue
+            seen[filename] = True
+            with open(filename, "r", encoding="utf-8") as handle:  # oftt-lint: ok[ambient-io]
+                source = handle.read()
+            suppressions = parse_suppressions(filename, source)
+            if suppressions.skip_file:
+                continue
+            try:
+                tree = ast.parse(source, filename=filename)
+            except SyntaxError as exc:
+                findings.append(
+                    Finding(SYNTAX_RULE, filename, exc.lineno or 1, exc.offset or 0, f"syntax error: {exc.msg}")
+                )
+                tree = None
+            files.append(SourceFile(filename, source, tree, suppressions))
+    return files, findings
+
+
+def run_passes(files: Sequence[SourceFile], passes: Sequence[Pass]) -> List[Finding]:
+    """Run *passes*, apply per-file suppressions, and sort the survivors."""
+    by_path = {f.path: f for f in files}
+    findings: List[Finding] = []
+    for one_pass in passes:
+        findings.extend(one_pass(files))
+    kept = []
+    for finding in findings:
+        owner = by_path.get(finding.path)
+        if owner is None or owner.suppressions.allows(finding):
+            kept.append(finding)
+    for source_file in files:  # bad suppressions are findings themselves
+        kept.extend(source_file.suppressions.errors)
+    kept.sort(key=Finding.sort_key)
+    return kept
+
+
+# -- small AST helpers shared by the passes -------------------------------
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``a.b.c`` for a Name/Attribute chain, else None."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+def import_aliases(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> imported dotted path, for Import/ImportFrom at any depth."""
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for name in node.names:
+                aliases[name.asname or name.name.split(".")[0]] = name.name if name.asname else name.name.split(".")[0]
+        elif isinstance(node, ast.ImportFrom) and node.module and node.level == 0:
+            for name in node.names:
+                aliases[name.asname or name.name] = f"{node.module}.{name.name}"
+    return aliases
+
+
+def resolve_call_name(node: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """Dotted callee name with its first segment resolved through imports.
+
+    ``npr.shuffle(...)`` with ``import numpy.random as npr`` resolves to
+    ``numpy.random.shuffle``; unresolvable callees return the raw dotted
+    name (or None for computed callees).
+    """
+    raw = dotted_name(node.func)
+    if raw is None:
+        return None
+    head, _, rest = raw.partition(".")
+    resolved = aliases.get(head, head)
+    return f"{resolved}.{rest}" if rest else resolved

@@ -12,12 +12,17 @@ from typing import Any, Callable
 
 from repro.com.guids import GUID
 from repro.com.hresult import CLASS_E_CLASSNOTAVAILABLE
+from repro.com.interfaces import declare_interface
 from repro.com.object import ComObject
 from repro.errors import ComError
+
+ICLASS_FACTORY = declare_interface("IClassFactory", ("CreateInstance", "LockServer"))
 
 
 class ClassFactory(ComObject):
     """Creates instances of one coclass."""
+
+    IMPLEMENTS = (ICLASS_FACTORY,)
 
     def __init__(self, clsid: GUID, producer: Callable[..., ComObject], server_name: str = "") -> None:
         super().__init__()

@@ -353,7 +353,9 @@ class OfttEngine(ComObject):
         # If the peer never acks, our peer-loss detection will promote us
         # right back — the self-healing loop closes itself.
 
-    def _forced_local_restart(self, component: str) -> None:
+    # Same-tick with _local_restart is benign: both guard on app.running,
+    # so the loser of the seq tiebreak is a no-op.
+    def _forced_local_restart(self, component: str) -> None:  # oftt-lint: ok[race-write-write]
         app = self.applications.get(component)
         if not self.alive or app is None or self.role is not Role.PRIMARY:
             return

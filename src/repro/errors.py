@@ -58,11 +58,25 @@ class QueueNotFound(MsqError):
 
 
 class OpcError(ReproError):
-    """OPC layer failure."""
+    """OPC layer failure.
+
+    Carries an HRESULT so server-side raises marshal faithfully through
+    :mod:`repro.com.dcom` instead of degrading to an anonymous ``E_FAIL``
+    (the values live in :mod:`repro.com.hresult`; the default here is the
+    literal ``E_FAIL`` to keep this module import-cycle free).
+    """
+
+    default_hresult = 0x8000_4005  # E_FAIL
+
+    def __init__(self, message: str = "", hresult: int = 0) -> None:
+        super().__init__(message)
+        self.hresult = hresult or self.default_hresult
 
 
 class ItemNotFound(OpcError):
     """An OPC item id does not exist in the server's address space."""
+
+    default_hresult = 0xC004_0007  # OPC_E_UNKNOWNITEMID
 
 
 class OfttError(ReproError):

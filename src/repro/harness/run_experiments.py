@@ -9,6 +9,8 @@ This is how EXPERIMENTS.md's "measured" columns are produced::
 from __future__ import annotations
 
 import sys
+
+# oftt-lint: file-ok[ambient-io] -- the experiment runner is the host-side CLI.
 from typing import Any, Callable, Dict, List, Tuple
 
 from repro.harness import experiments as E

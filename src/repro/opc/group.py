@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, List, Optional, Tuple, TYPE_CHECKING
 from repro.com.interfaces import declare_interface
 from repro.com.marshal import ObjRef
 from repro.com.object import ComObject
+from repro.com.hresult import CONNECT_E_NOCONNECTION, OPC_E_INVALIDHANDLE
 from repro.errors import OpcError
 from repro.opc.types import OpcValue
 
@@ -85,7 +86,7 @@ class OpcGroup(ComObject):
         """Drop items by client handle (unknown handles are errors)."""
         for handle in handles:
             if handle not in self.items:
-                raise OpcError(f"group {self.name}: unknown handle {handle}")
+                raise OpcError(f"group {self.name}: unknown handle {handle}", hresult=OPC_E_INVALIDHANDLE)
             del self.items[handle]
             self._last_sent.pop(handle, None)
             self._pending.pop(handle, None)
@@ -111,7 +112,7 @@ class OpcGroup(ComObject):
         result = []
         for handle in handles:
             if handle not in self.items:
-                raise OpcError(f"group {self.name}: unknown handle {handle}")
+                raise OpcError(f"group {self.name}: unknown handle {handle}", hresult=OPC_E_INVALIDHANDLE)
             result.append(self.server.namespace.read(self.items[handle]).as_wire())
         return result
 
@@ -119,7 +120,7 @@ class OpcGroup(ComObject):
         """Write values through to the device hooks."""
         for handle, value in writes:
             if handle not in self.items:
-                raise OpcError(f"group {self.name}: unknown handle {handle}")
+                raise OpcError(f"group {self.name}: unknown handle {handle}", hresult=OPC_E_INVALIDHANDLE)
             self.server.namespace.client_write(self.items[handle], value)
 
     # -- asynchronous access (IOPCAsyncIO2) ---------------------------------------
@@ -133,10 +134,10 @@ class OpcGroup(ComObject):
         Requires a data callback to be registered.
         """
         if self._sink_local is None and self._sink_remote is None:
-            raise OpcError(f"group {self.name}: AsyncRead without a data callback")
+            raise OpcError(f"group {self.name}: AsyncRead without a data callback", hresult=CONNECT_E_NOCONNECTION)
         for handle in handles:
             if handle not in self.items:
-                raise OpcError(f"group {self.name}: unknown handle {handle}")
+                raise OpcError(f"group {self.name}: unknown handle {handle}", hresult=OPC_E_INVALIDHANDLE)
         transaction_id = next(self._transaction_counter)
         self.server.kernel.schedule(self.ASYNC_LATENCY, self._complete_read, list(handles), transaction_id)
         return transaction_id
@@ -145,7 +146,7 @@ class OpcGroup(ComObject):
         """Start an asynchronous write; ``OnWriteComplete`` carries the
         transaction id and per-handle success flags."""
         if self._sink_local is None and self._sink_remote is None:
-            raise OpcError(f"group {self.name}: AsyncWrite without a data callback")
+            raise OpcError(f"group {self.name}: AsyncWrite without a data callback", hresult=CONNECT_E_NOCONNECTION)
         transaction_id = next(self._transaction_counter)
         self.server.kernel.schedule(self.ASYNC_LATENCY, self._complete_write, list(writes), transaction_id)
         return transaction_id

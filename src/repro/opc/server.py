@@ -19,6 +19,7 @@ from typing import Any, Dict, List, Optional
 from repro.com.interfaces import declare_interface
 from repro.com.object import ComObject
 from repro.com.runtime import ComRuntime
+from repro.com.hresult import OPC_E_DUPLICATENAME
 from repro.errors import OpcError
 from repro.opc.group import OpcGroup
 from repro.opc.items import ItemNamespace
@@ -86,7 +87,7 @@ class OpcServer(ComObject):
     def AddGroup(self, name: str, update_rate: float = 100.0, deadband: float = 0.0) -> OpcGroup:
         """Create a subscription group (error on duplicate names)."""
         if name in self.groups:
-            raise OpcError(f"server {self.name}: group {name} exists")
+            raise OpcError(f"server {self.name}: group {name} exists", hresult=OPC_E_DUPLICATENAME)
         group = OpcGroup(self, name, update_rate=update_rate, deadband=deadband)
         self.groups[name] = group
         return group

@@ -110,7 +110,9 @@ class Process(Waitable):
     def _start(self) -> None:
         self.kernel.schedule(0.0, self._step, None)
 
-    def _on_wait_fired(self, waitable: Waitable) -> None:
+    # The _waiting_on handshake with _step IS the stale-resume guard;
+    # the same-tick write/read below is the designed protocol.
+    def _on_wait_fired(self, waitable: Waitable) -> None:  # oftt-lint: ok[race-write-read]
         if self._waiting_on is waitable:
             self._waiting_on = None
             self._step(waitable.value)

@@ -1,0 +1,125 @@
+"""CLI contract tests and the dogfood gate.
+
+The dogfood gate is the point of the whole subsystem: the analyzer must
+pass over its own repository (``python -m repro.analysis src/repro``
+exits 0), and must fail loudly the moment a violation is introduced.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import subprocess
+import sys
+
+import pytest
+
+from repro.analysis.cli import main
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__), "..", ".."))
+SRC_REPRO = os.path.join(REPO_ROOT, "src", "repro")
+
+
+def run_cli(args, capsys):
+    code = main(args)
+    captured = capsys.readouterr()
+    return code, captured.out
+
+
+# -- dogfood gate --------------------------------------------------------
+
+
+def test_repo_is_clean_in_strict_mode(capsys):
+    code, out = run_cli([SRC_REPRO, "--strict"], capsys)
+    assert code == 0, f"analysis found violations:\n{out}"
+    assert "0 finding(s)" in out
+
+
+def test_repo_is_clean_via_module_invocation():
+    completed = subprocess.run(
+        [sys.executable, "-m", "repro.analysis", "src/repro"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        env={**os.environ, "PYTHONPATH": os.path.join(REPO_ROOT, "src")},
+    )
+    assert completed.returncode == 0, completed.stdout + completed.stderr
+    assert "passes: det, com, race" in completed.stdout
+
+
+def test_seeded_violation_flips_the_gate(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text(
+        "import time\n\n\ndef stamp(kernel):\n    kernel.schedule(time.time(), stamp)\n",
+        encoding="utf-8",
+    )
+    code, out = run_cli([SRC_REPRO, str(bad)], capsys)
+    assert code == 1
+    assert "DET001" in out
+
+
+# -- CLI contract --------------------------------------------------------
+
+
+def test_pass_selection_runs_only_requested_pass(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import time\n\n\ndef f():\n    return time.time()\n", encoding="utf-8")
+    code, out = run_cli([str(bad), "--passes", "com,race"], capsys)
+    assert code == 0  # determinism pass not selected
+    assert "passes: com, race" in out
+
+
+def test_unknown_pass_is_a_usage_error(capsys):
+    assert main([SRC_REPRO, "--passes", "nope"]) == 2
+
+
+def test_missing_path_is_a_usage_error(capsys):
+    assert main([os.path.join(REPO_ROOT, "no", "such", "dir")]) == 2
+
+
+def test_json_output_round_trips(tmp_path, capsys):
+    bad = tmp_path / "bad.py"
+    bad.write_text("import os\n\nTOKEN = os.urandom(4)\n", encoding="utf-8")
+    code, out = run_cli([str(bad), "--json"], capsys)
+    assert code == 1
+    document = json.loads(out)
+    assert document["schema"] == "repro.analysis/v1"
+    assert document["counts"]["error"] == 1
+    assert document["findings"][0]["rule"] == "DET003"
+
+
+def test_strict_gates_on_warnings(tmp_path, capsys):
+    racy = tmp_path / "racy.py"
+    racy.write_text(
+        "class Pump:\n"
+        "    def start(self):\n"
+        "        self.kernel.schedule(5.0, self._a)\n"
+        "        self.kernel.schedule(5.0, self._b)\n"
+        "\n"
+        "    def _a(self):\n"
+        "        self.valve = 1\n"
+        "\n"
+        "    def _b(self):\n"
+        "        self.valve = 2\n",
+        encoding="utf-8",
+    )
+    lenient, _ = run_cli([str(racy)], capsys)
+    strict, out = run_cli([str(racy), "--strict"], capsys)
+    assert lenient == 0  # warnings do not gate by default
+    assert strict == 1
+    assert "RACE001" in out
+
+
+def test_list_rules_catalogue(capsys):
+    code, out = run_cli(["--list-rules"], capsys)
+    assert code == 0
+    for rule_id in ("DET001", "DET004", "COM001", "COM004", "RACE001", "RACE004", "GEN001", "GEN002"):
+        assert rule_id in out
+
+
+def test_syntax_error_is_reported_not_crashed(tmp_path, capsys):
+    broken = tmp_path / "broken.py"
+    broken.write_text("def f(:\n", encoding="utf-8")
+    code, out = run_cli([str(broken)], capsys)
+    assert code == 1
+    assert "GEN001" in out

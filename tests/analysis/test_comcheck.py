@@ -1,0 +1,274 @@
+"""Self-tests for the COM contract checker."""
+
+from __future__ import annotations
+
+from repro.analysis import comcheck
+
+from tests.analysis.util import analyze, rule_ids
+
+#: Shared snippet prologue: a ComObject base and one interface.
+PROLOGUE = """
+from repro.com.interfaces import declare_interface
+from repro.com.object import ComObject
+from repro.errors import ComError
+
+IMOTOR = declare_interface("IMotor", ("Start", "Stop"))
+"""
+
+
+def com(source: str):
+    return analyze(PROLOGUE + source, comcheck.run)
+
+
+# -- COM001 missing method -----------------------------------------------
+
+
+def test_missing_method_fires_when_declared_method_absent():
+    findings = com(
+        """
+class Motor(ComObject):
+    IMPLEMENTS = (IMOTOR,)
+
+    def Start(self):
+        return 0
+        """
+    )
+    assert rule_ids(findings) == ["COM001"]
+    assert "Stop" in findings[0].message
+
+
+def test_missing_method_sees_base_interface_chain():
+    findings = analyze(
+        PROLOGUE
+        + """
+ISERVO = declare_interface("IServo", ("Calibrate",), base=IMOTOR)
+
+class Servo(ComObject):
+    IMPLEMENTS = (ISERVO,)
+
+    def Calibrate(self):
+        return 0
+        """,
+        comcheck.run,
+    )
+    assert rule_ids(findings) == ["COM001", "COM001"]  # Start and Stop missing
+
+
+def test_missing_method_quiet_when_inherited_from_python_base():
+    assert com(
+        """
+class MotorBase(ComObject):
+    IMPLEMENTS = (IMOTOR,)
+
+    def Start(self):
+        return 0
+
+    def Stop(self):
+        return 0
+
+class QuietMotor(MotorBase):
+    def helper(self):
+        return 1
+        """
+    ) == []
+
+
+# -- COM002 undeclared CamelCase method ----------------------------------
+
+
+def test_undeclared_method_fires_on_camel_case_extra():
+    findings = com(
+        """
+class Motor(ComObject):
+    IMPLEMENTS = (IMOTOR,)
+
+    def Start(self):
+        return 0
+
+    def Stop(self):
+        return 0
+
+    def Reverse(self):
+        return 0
+        """
+    )
+    assert rule_ids(findings) == ["COM002"]
+    assert "Reverse" in findings[0].message
+
+
+def test_undeclared_method_quiet_on_snake_case_helpers_and_properties():
+    assert com(
+        """
+class Motor(ComObject):
+    IMPLEMENTS = (IMOTOR,)
+
+    def Start(self):
+        return 0
+
+    def Stop(self):
+        return 0
+
+    def update_telemetry(self):
+        return 1
+
+    @property
+    def Speed(self):
+        return 3
+        """
+    ) == []
+
+
+# -- COM003 unknown interface --------------------------------------------
+
+
+def test_unknown_interface_fires_on_unresolvable_name():
+    findings = com(
+        """
+class Motor(ComObject):
+    IMPLEMENTS = (IMOTOR, IMYSTERY)
+
+    def Start(self):
+        return 0
+
+    def Stop(self):
+        return 0
+        """
+    )
+    assert rule_ids(findings) == ["COM003"]
+    assert "IMYSTERY" in findings[0].message
+
+
+def test_unknown_interface_fires_on_non_tuple_implements():
+    findings = com(
+        """
+class Motor(ComObject):
+    IMPLEMENTS = IMOTOR
+
+    def Start(self):
+        return 0
+
+    def Stop(self):
+        return 0
+        """
+    )
+    assert rule_ids(findings) == ["COM003"]
+
+
+def test_known_interface_quiet():
+    assert com(
+        """
+class Motor(ComObject):
+    IMPLEMENTS = (IMOTOR,)
+
+    def Start(self):
+        return 0
+
+    def Stop(self):
+        return 0
+        """
+    ) == []
+
+
+# -- COM004 HRESULT discipline -------------------------------------------
+
+
+def test_bare_raise_fires_on_builtin_exception_in_com_method():
+    findings = com(
+        """
+class Motor(ComObject):
+    IMPLEMENTS = (IMOTOR,)
+
+    def Start(self):
+        raise ValueError("no power")
+
+    def Stop(self):
+        return 0
+        """
+    )
+    assert rule_ids(findings) == ["COM004"]
+
+
+def test_bare_raise_fires_on_local_exception_without_hresult():
+    findings = com(
+        """
+class MotorJam(Exception):
+    pass
+
+class Motor(ComObject):
+    IMPLEMENTS = (IMOTOR,)
+
+    def Start(self):
+        raise MotorJam("stuck")
+
+    def Stop(self):
+        return 0
+        """
+    )
+    assert rule_ids(findings) == ["COM004"]
+
+
+def test_bare_raise_quiet_on_hresult_carriers_and_helpers():
+    assert com(
+        """
+class MotorFault(ComError):
+    pass
+
+class TaggedFault(Exception):
+    def __init__(self, message):
+        super().__init__(message)
+        self.hresult = 0x80004005
+
+class Motor(ComObject):
+    IMPLEMENTS = (IMOTOR,)
+
+    def Start(self):
+        raise MotorFault(0x80004005, "stuck")
+
+    def Stop(self):
+        raise TaggedFault("power loss")
+
+    def helper(self):
+        raise ValueError("not a COM method; out of scope")
+        """
+    ) == []
+
+
+# -- COM005 IUnknown override --------------------------------------------
+
+
+def test_iunknown_override_fires():
+    findings = com(
+        """
+class Motor(ComObject):
+    IMPLEMENTS = (IMOTOR,)
+
+    def Start(self):
+        return 0
+
+    def Stop(self):
+        return 0
+
+    def AddRef(self):
+        return 99
+        """
+    )
+    assert rule_ids(findings) == ["COM005"]
+    assert "AddRef" in findings[0].message
+
+
+def test_iunknown_methods_quiet_on_base_class_itself():
+    # ComObject itself (defining class) is not a subclass, so no finding.
+    assert analyze(
+        """
+        class ComObject:
+            def QueryInterface(self, iid):
+                return self
+
+            def AddRef(self):
+                return 1
+
+            def Release(self):
+                return 0
+        """,
+        comcheck.run,
+    ) == []

@@ -1,0 +1,237 @@
+"""Self-tests for the determinism pass: each rule fires on its fixture
+and stays quiet on the sanctioned equivalent."""
+
+from __future__ import annotations
+
+from repro.analysis import determinism
+
+from tests.analysis.util import analyze, rule_ids
+
+
+def det(source: str):
+    return analyze(source, determinism.run)
+
+
+# -- DET001 wall-clock ---------------------------------------------------
+
+
+def test_wall_clock_fires_on_time_time():
+    findings = det(
+        """
+        import time
+
+        def stamp(kernel):
+            return time.time()
+        """
+    )
+    assert rule_ids(findings) == ["DET001"]
+    assert "time.time" in findings[0].message
+
+
+def test_wall_clock_fires_on_datetime_now_and_monotonic():
+    findings = det(
+        """
+        import time
+        from datetime import datetime
+
+        def stamps():
+            return datetime.now(), time.monotonic()
+        """
+    )
+    assert rule_ids(findings) == ["DET001", "DET001"]
+
+
+def test_wall_clock_quiet_on_kernel_now():
+    assert det(
+        """
+        def stamp(kernel):
+            return kernel.now
+        """
+    ) == []
+
+
+# -- DET002 unseeded randomness ------------------------------------------
+
+
+def test_unseeded_random_fires_on_module_level_draws():
+    findings = det(
+        """
+        import random
+
+        def pick(options):
+            random.shuffle(options)
+            return random.choice(options)
+        """
+    )
+    assert rule_ids(findings) == ["DET002", "DET002"]
+
+
+def test_unseeded_random_fires_on_numpy_global_rng():
+    findings = det(
+        """
+        import numpy.random as npr
+
+        def noise():
+            return npr.normal()
+        """
+    )
+    assert rule_ids(findings) == ["DET002"]
+
+
+def test_unseeded_random_fires_on_seedless_random_instance():
+    findings = det(
+        """
+        import random
+
+        def fresh():
+            return random.Random()
+        """
+    )
+    assert rule_ids(findings) == ["DET002"]
+
+
+def test_unseeded_random_quiet_on_rng_streams_and_seeded_instance():
+    assert det(
+        """
+        import random
+
+        def draws(rng):
+            stream = rng.stream("network")
+            backup = random.Random(rng.seed)
+            return stream.random(), backup.random()
+        """
+    ) == []
+
+
+# -- DET003 entropy ------------------------------------------------------
+
+
+def test_entropy_fires_on_urandom_uuid4_secrets():
+    findings = det(
+        """
+        import os
+        import secrets
+        import uuid
+
+        def token():
+            return os.urandom(8), uuid.uuid4(), secrets.token_hex(4)
+        """
+    )
+    assert rule_ids(findings) == ["DET003", "DET003", "DET003"]
+
+
+def test_entropy_quiet_on_deterministic_guid():
+    assert det(
+        """
+        from repro.com.guids import guid_from_name
+
+        def make_id(name):
+            return guid_from_name(name)
+        """
+    ) == []
+
+
+# -- DET004 unordered fan-out --------------------------------------------
+
+
+def test_unordered_fanout_fires_on_set_literal_loop():
+    findings = det(
+        """
+        def fan_out(kernel, tick):
+            for name in {"a", "b"}:
+                kernel.schedule(1.0, tick, name)
+        """
+    )
+    assert rule_ids(findings) == ["DET004"]
+
+
+def test_unordered_fanout_fires_on_set_typed_attribute():
+    findings = det(
+        """
+        class Hub:
+            def __init__(self):
+                self.members = set()
+
+            def fan_out(self):
+                for member in self.members:
+                    self.kernel.schedule(0.0, member.poke)
+        """
+    )
+    assert rule_ids(findings) == ["DET004"]
+
+
+def test_unordered_fanout_fires_on_keys_of_set_expression():
+    findings = det(
+        """
+        def fan_out(kernel, tick, nodes):
+            for name in set(nodes) | {"spare"}:
+                kernel.schedule(1.0, tick, name)
+        """
+    )
+    assert rule_ids(findings) == ["DET004"]
+
+
+def test_unordered_fanout_quiet_when_sorted_or_no_scheduling():
+    assert det(
+        """
+        def fan_out(kernel, tick, nodes):
+            for name in sorted(set(nodes)):
+                kernel.schedule(1.0, tick, name)
+
+        def tally(nodes):
+            total = 0
+            for name in {"a", "b"}:
+                total += len(name)
+            return total
+        """
+    ) == []
+
+
+# -- DET005 id ordering --------------------------------------------------
+
+
+def test_id_ordering_fires_on_sort_key_and_comparison():
+    findings = det(
+        """
+        def order(objects, a, b):
+            ranked = sorted(objects, key=id)
+            return ranked if id(a) < id(b) else ranked[::-1]
+        """
+    )
+    assert rule_ids(findings) == ["DET005", "DET005"]
+
+
+def test_id_ordering_quiet_on_name_keys():
+    assert det(
+        """
+        def order(objects):
+            return sorted(objects, key=lambda o: o.name)
+        """
+    ) == []
+
+
+# -- DET006 ambient io ---------------------------------------------------
+
+
+def test_ambient_io_fires_on_environ_getenv_open():
+    findings = det(
+        """
+        import os
+
+        def load():
+            flag = os.environ["MODE"]
+            alt = os.getenv("ALT")
+            with open("config.ini") as handle:
+                return flag, alt, handle.read()
+        """
+    )
+    assert rule_ids(findings) == ["DET006", "DET006", "DET006"]
+
+
+def test_ambient_io_quiet_on_config_objects():
+    assert det(
+        """
+        def load(config):
+            return config.mode, config.alt
+        """
+    ) == []
