@@ -1,9 +1,10 @@
-# Developer entry points.  `make verify` is the CI gate: tier-1 tests
-# plus the static-analysis toolkit (see ANALYSIS.md).
+# Developer entry points.  `make verify` is the CI gate: tier-1 tests,
+# the static-analysis toolkit (see ANALYSIS.md), and the dynamic
+# replay-divergence gate (see REPLAY.md).
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-json verify
+.PHONY: test lint lint-tests lint-json replay replay-json verify
 
 test:
 	$(PY) -m pytest -x -q
@@ -11,7 +12,19 @@ test:
 lint:
 	$(PY) -m repro.analysis src/repro --strict
 
+# Tests are linted with the per-directory profile: the ambient DET rules
+# (unseeded randomness, entropy, environment reads) are relaxed because
+# property-style tests and CLI fixtures use them deliberately.
+lint-tests:
+	$(PY) -m repro.analysis tests --strict --relax tests=DET002,DET003,DET006
+
 lint-json:
 	$(PY) -m repro.analysis src/repro --strict --format json
 
-verify: test lint
+replay:
+	$(PY) -m repro.replay --gate
+
+replay-json:
+	$(PY) -m repro.replay --gate --format json
+
+verify: test lint lint-tests replay

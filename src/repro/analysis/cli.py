@@ -11,17 +11,27 @@ Examples::
     python -m repro.analysis src/repro                # all passes, text
     python -m repro.analysis src/repro --format json  # machine output
     python -m repro.analysis src examples --passes det,race --strict
+    python -m repro.analysis src tests --relax tests=DET002,DET006
     oftt-lint --list-rules
+
+``--relax PREFIX=RULE[,RULE...]`` (repeatable) is the per-directory rule
+profile: findings for the named rules in files under ``PREFIX`` are
+downgraded to ``info`` so they never gate.  Tests legitimately draw
+module-level randomness and read the environment (property-style test
+generators, CLI fixtures), so ``make lint-tests`` relaxes the ambient
+DET rules for ``tests/`` while keeping everything else at full strength.
 """
 
 from __future__ import annotations
 
 import argparse
+import dataclasses
+import os
 import sys
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis import comcheck, determinism, races
-from repro.analysis.findings import AnalysisError, Severity, all_rules
+from repro.analysis.findings import AnalysisError, Finding, Severity, all_rules, lookup
 from repro.analysis.report import render_json, render_text
 from repro.analysis.walker import Pass, load_sources, run_passes
 
@@ -48,9 +58,53 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shorthand for --format json")
     parser.add_argument("--strict", action="store_true",
                         help="warnings gate the exit code too")
+    parser.add_argument("--relax", action="append", default=[], metavar="PREFIX=RULES",
+                        help="downgrade the named rules to info for files under PREFIX "
+                             "(repeatable, e.g. --relax tests=DET002,DET006)")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule catalogue and exit")
     return parser
+
+
+def parse_relaxations(specs: Sequence[str]) -> List[Tuple[str, Set[str]]]:
+    """Parse ``PREFIX=RULE[,RULE...]`` specs into (prefix, rule-id set) pairs.
+
+    Rules may be named by id (``DET002``) or slug (``unseeded-random``);
+    unknown names are a usage error so a typo cannot silently relax
+    nothing.
+    """
+    relaxations: List[Tuple[str, Set[str]]] = []
+    for spec in specs:
+        prefix, sep, names = spec.partition("=")
+        rule_tokens = [token.strip() for token in names.split(",") if token.strip()]
+        if not sep or not prefix.strip() or not rule_tokens:
+            raise AnalysisError(f"bad --relax spec {spec!r}; expected PREFIX=RULE[,RULE...]")
+        relaxations.append(
+            (os.path.normpath(prefix.strip()), {lookup(token).rule_id for token in rule_tokens})
+        )
+    return relaxations
+
+
+def _under(path: str, prefix: str) -> bool:
+    normalized = os.path.normpath(path)
+    return normalized == prefix or normalized.startswith(prefix + os.sep)
+
+
+def apply_relaxations(
+    findings: Sequence[Finding], relaxations: Sequence[Tuple[str, Set[str]]]
+) -> List[Finding]:
+    """Downgrade relaxed findings to INFO; everything else passes through."""
+    relaxed: List[Finding] = []
+    for finding in findings:
+        for prefix, rule_ids in relaxations:
+            if finding.rule.rule_id in rule_ids and _under(finding.path, prefix):
+                finding = dataclasses.replace(
+                    finding,
+                    rule=dataclasses.replace(finding.rule, severity=Severity.INFO),
+                )
+                break
+        relaxed.append(finding)
+    return relaxed
 
 
 def list_rules() -> str:
@@ -74,6 +128,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             if name not in PASSES:
                 raise AnalysisError(f"unknown pass {name!r} (choose from {', '.join(PASSES)})")
             selected.append(PASSES[name])
+        relaxations = parse_relaxations(options.relax)
         files, load_findings = load_sources(options.paths or ["src/repro"])
     except AnalysisError as exc:
         print(f"oftt-lint: {exc}", file=sys.stderr)
@@ -81,6 +136,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
 
     findings = run_passes(files, selected)
     findings = sorted(load_findings + findings, key=lambda f: f.sort_key())
+    findings = apply_relaxations(findings, relaxations)
 
     if options.format == "json":
         sys.stdout.write(render_json(findings, len(files), pass_names))

@@ -22,6 +22,7 @@ itself part of the checkpointed state so it survives failover too.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, List, Optional
 
 from repro.core.api import OfttApi
@@ -107,7 +108,9 @@ class CallTrackApp(OfttApplication):
             "last_event_time": 0.0,
             "display": "",
         }
-        restored = dict(image.get("globals", {})) if image else {}
+        # Deep copy: seen_recent is a list the app appends to; a shallow
+        # copy would alias it into the checkpoint held by the engine.
+        restored = copy.deepcopy(image.get("globals", {})) if image else {}
         for var, default in defaults.items():
             space.write(var, restored.get(var, default))
 

@@ -13,6 +13,7 @@ the DCOM callback path during failovers.
 
 from __future__ import annotations
 
+import copy
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -95,7 +96,10 @@ class ScadaMonitorApp(OfttApplication):
             "updates_seen": 0,
             "writes_issued": 0,
         }
-        restored = dict(image.get("globals", {})) if image else {}
+        # Deep copy: a shallow dict() would alias the checkpoint's nested
+        # containers (latest, trend, ...) into live memory, so the running
+        # app would mutate the image held by the engine's CheckpointStore.
+        restored = copy.deepcopy(image.get("globals", {})) if image else {}
         for var, default in defaults.items():
             space.write(var, restored.get(var, default))
 

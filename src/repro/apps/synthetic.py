@@ -9,6 +9,7 @@ incremental captures only what changed.
 
 from __future__ import annotations
 
+import copy
 from typing import Any, Dict, Optional
 
 from repro.core.api import OfttApi
@@ -54,7 +55,9 @@ class SyntheticStateApp(OfttApplication):
         process = context.system.create_process(self.name)
         self.process = process
         space = process.address_space
-        restored = dict(image.get("globals", {})) if image else {}
+        # Deep copy so live writes can never reach back into the stored
+        # checkpoint image (values may be mutable containers).
+        restored = copy.deepcopy(image.get("globals", {})) if image else {}
 
         # Cold payload: 1 KiB strings, written once.
         for block in range(self.cold_kb):

@@ -80,14 +80,22 @@ class _Export:
 class DcomExporter:
     """The per-node ORPC service (RPCSS stand-in)."""
 
-    _oid_counter = itertools.count(1)
-    _call_counter = itertools.count(1)
-
     def __init__(self, kernel: SimKernel, network: Network, node: NetNode, rpc_timeout: float = 2000.0) -> None:
         self.kernel = kernel
         self.network = network
         self.node = node
         self.rpc_timeout = rpc_timeout
+        # oids and call ids are seeded from the exporter's creation time:
+        # a replacement exporter (node reinstall rebinds the ORPC port)
+        # must never mint an oid that aliases an ObjRef still held by a
+        # remote client, nor accept a stale in-flight reply as one of its
+        # own calls.  Class-level counters also guaranteed that, but they
+        # leaked across scenarios in one Python process, so two runs of
+        # the same seed exported different oids.  call_id 0 stays
+        # reserved for oneway calls (no reply expected).
+        epoch_base = int(kernel.now) * 1_000_000
+        self._oid_counter = itertools.count(epoch_base + 1)
+        self._call_counter = itertools.count(epoch_base + 1)
         self.exports: Dict[int, _Export] = {}
         self._pending: Dict[int, Tuple[Event, Any]] = {}  # call_id -> (event, timer)
         self.calls_served = 0

@@ -9,11 +9,23 @@ local restart) and mirrored from the peer (for failover).
 
 from __future__ import annotations
 
+import json
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional
 
 from repro.errors import CheckpointError
 from repro.nt.memory import _estimate_size
+
+
+def canonical_image_bytes(image: Dict[str, Dict[str, Any]]) -> bytes:
+    """Serialize a checkpoint image to bytes, *preserving* dict order.
+
+    Deliberately NOT ``sort_keys=True``: capture paths promise to emit
+    regions and variables in a stable (name-sorted) order, and the
+    replay round-trip check compares these bytes to prove it.  Sorting
+    here would mask exactly the reorder bugs the check exists to catch.
+    """
+    return json.dumps(image, default=repr, separators=(",", ":")).encode("utf-8")
 
 
 @dataclass(frozen=True)
@@ -78,6 +90,11 @@ class Checkpoint:
         merged_image: Dict[str, Dict[str, Any]] = {k: dict(v) for k, v in base.image.items()}
         for region, variables in self.image.items():
             merged_image.setdefault(region, {}).update(variables)
+        # Re-sort by region name: FTIM captures list regions in name
+        # order, but the overlay above appends delta-only regions at the
+        # end, so without this a merged image would serialize differently
+        # from the full capture it is equivalent to.
+        merged_image = {region: merged_image[region] for region in sorted(merged_image)}
         merged_contexts = dict(base.thread_contexts)
         merged_contexts.update(self.thread_contexts)
         return Checkpoint(

@@ -61,7 +61,6 @@ class OfttEngine(ComObject):
     """One node's OFTT engine."""
 
     IMPLEMENTS = (IENGINE,)
-    _takeover_ids = itertools.count(1)
 
     def __init__(
         self,
@@ -117,6 +116,12 @@ class OfttEngine(ComObject):
         self.peer_store = CheckpointStore(self.config.checkpoint_history)
         self.components: Dict[str, _Component] = {}
         self.watchdogs: Dict[str, WatchdogTimer] = {}
+        # Per-engine takeover ids: a class-level counter would carry over
+        # between scenarios in one Python process, so the takeover_id in
+        # the switchover-initiated trace would differ run-to-run.  The id
+        # only disambiguates this engine's pending handoff, so restarting
+        # from 1 per instance is safe.
+        self._takeover_ids = itertools.count(1)
         self.acked_sequence = 0
         self.peer_present = False
         self.degraded = False
@@ -164,7 +169,10 @@ class OfttEngine(ComObject):
         # §4 demo (d): middleware failure.  Everything engine-driven stops.
         self.stopped = True
         self.monitor.stop()
-        for watchdog in self.watchdogs.values():
+        # Sorted so teardown side effects (timer cancels, traces) fire in
+        # a name-stable order regardless of watchdog creation history.
+        for name in sorted(self.watchdogs):
+            watchdog = self.watchdogs[name]
             if not watchdog.deleted:
                 watchdog.delete()
         self.trace.emit("engine", self.node_name, "engine-dead")
@@ -176,6 +184,9 @@ class OfttEngine(ComObject):
             self.process.exit(0)
 
     def _stop_all_applications(self) -> None:
+        # Registration order is the fan-out contract here: applications
+        # is only ever built once in __init__ from the caller's list, so
+        # iteration order is deterministic across runs and restores.
         for app in self.applications.values():
             if app.running:
                 record = self.components.get(app.name)
@@ -386,6 +397,8 @@ class OfttEngine(ComObject):
         self._broadcast_role_change()
 
     def _start_application_as_primary(self) -> None:
+        # Same registration-order contract as _stop_all_applications:
+        # launch order matters for trace comparison, and __init__ fixed it.
         for name, app in self.applications.items():
             if app.running:
                 continue

@@ -120,7 +120,6 @@ class ClientFtim(ServerFtim):
 
     kind = ComponentKind.APPLICATION
     takes_checkpoints = True
-    _sequence = itertools.count(1)
 
     def __init__(
         self,
@@ -130,6 +129,17 @@ class ClientFtim(ServerFtim):
         checkpoint_period: Optional[float] = None,
     ) -> None:
         super().__init__(engine, app_name, process)
+        # Sequence numbers must keep climbing across relaunches of the
+        # same application (CheckpointStore rejects stale sequences), so
+        # a fresh FTIM resumes after whatever the engine already holds —
+        # locally or mirrored from the peer.  A class-level counter would
+        # satisfy monotonicity but leak across scenarios in one Python
+        # process, making identical-seed runs emit different sequences.
+        resume_from = max(
+            engine.local_store.latest_sequence(app_name),
+            engine.peer_store.latest_sequence(app_name),
+        )
+        self._sequence = itertools.count(resume_from + 1)
         self.checkpoint_period = checkpoint_period if checkpoint_period is not None else engine.config.checkpoint_period
         self.kernel32 = Kernel32(process)
         # The IAT trick: observe CreateThread so dynamically created
@@ -221,7 +231,10 @@ class ClientFtim(ServerFtim):
         if not self.selective:
             return space.walkthrough()
         image: Dict[str, Dict] = {}
-        for region_name, variables in self._selected.items():
+        # Sorted to match walkthrough(): every image — full or selective —
+        # lists regions in name order, so serialized checkpoint bytes do
+        # not depend on the order OFTTSelSave designations were made.
+        for region_name, variables in sorted(self._selected.items()):
             if not space.has_region(region_name):
                 continue
             region = space.region(region_name)

@@ -23,6 +23,7 @@ from repro.errors import OfttError
 from repro.faults.faultlib import Fault
 from repro.faults.injector import FaultInjector
 from repro.simnet.kernel import SimKernel
+from repro.simnet.trace import quantize
 
 
 @dataclass
@@ -44,6 +45,19 @@ class InjectionRecord:
         if self.recovered_at is None:
             return None
         return self.recovered_at - self.injected_at
+
+    def as_wire(self) -> dict:
+        """Canonical (quantized) form for replay-divergence comparison."""
+        return {
+            "fault": self.fault,
+            "demo_id": self.demo_id,
+            "injected_at": quantize(self.injected_at),
+            "recovered_at": quantize(self.recovered_at) if self.recovered_at is not None else None,
+            "recovered": self.recovered,
+            "primary_before": self.primary_before,
+            "primary_after": self.primary_after,
+            "switched_over": self.switched_over,
+        }
 
 
 class Campaign:
@@ -109,6 +123,15 @@ class Campaign:
     def all_recovered(self) -> bool:
         """Whether every injected fault was survived."""
         return all(record.recovered for record in self.records)
+
+    def replay_signature(self) -> List[dict]:
+        """Per-injection outcomes in canonical form.
+
+        ``repro.replay`` compares this between two identical-seed runs:
+        the trace diff finds *where* runs fork, the signature mismatch
+        shows *which experiment outcome* that fork changed.
+        """
+        return [record.as_wire() for record in self.records]
 
     def latencies(self) -> List[Tuple[str, float]]:
         """(fault, recovery latency) for recovered injections."""

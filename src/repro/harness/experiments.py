@@ -47,6 +47,7 @@ from repro.harness.scenario import (
     DemoScenario,
     build_demo,
     build_integrated,
+    build_pair_env,
     build_remote_monitoring,
 )
 from repro.metrics import failover_timing, summarize
@@ -239,22 +240,9 @@ def exp_failover_demos(seed: int = 0, warmup: float = 20_000.0, gap: float = 10_
 # X1 — checkpoint cost
 # ---------------------------------------------------------------------------
 
-def _pair_env(seed: int, config: OfttConfig, app_factory) -> DemoScenario:
+def _pair_env(seed: int, config: OfttConfig, app_factory):
     """A minimal two-node environment hosting an arbitrary app pair."""
-    scenario = object.__new__(DemoScenario)  # reuse plumbing without demo gear
-    _BaseInit(scenario, seed)
-    for name in ("alpha", "beta"):
-        scenario._add_machine(name).boot_immediately()
-    scenario.config = config
-    scenario.pair = OfttPair(
-        network=scenario.network,
-        systems={name: scenario.systems[name] for name in ("alpha", "beta")},
-        config=config,
-        app_factory=app_factory,
-        unit="bench",
-        trace=scenario.trace,
-    )
-    return scenario
+    return build_pair_env(seed=seed, config=config, app_factory=app_factory)
 
 
 def _BaseInit(scenario: DemoScenario, seed: int) -> None:

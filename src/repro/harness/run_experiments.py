@@ -4,6 +4,13 @@ This is how EXPERIMENTS.md's "measured" columns are produced::
 
     python -m repro.harness.run_experiments            # everything
     python -m repro.harness.run_experiments X1 X3      # a subset
+
+``--replay-check`` runs each selected experiment **twice** and compares
+the canonicalized result payloads — the experiment-level counterpart of
+``oftt-replay``'s trace-level diff.  A mismatch means the experiment's
+published numbers are not reproducible from its seed::
+
+    python -m repro.harness.run_experiments --replay-check X2 X5
 """
 
 from __future__ import annotations
@@ -15,6 +22,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 from repro.harness import experiments as E
 from repro.harness.reporting import format_dict, format_table
+from repro.simnet.trace import canonical_value
 
 # id -> (title, runner)
 EXPERIMENTS: Dict[str, Tuple[str, Callable[[], Any]]] = {
@@ -48,12 +56,45 @@ def run(ids: List[str]) -> None:
             print(format_table(list(result[0].keys()), [list(row.values()) for row in result], title=title))
 
 
+def replay_check_experiment(experiment_id: str) -> Tuple[bool, Any, Any]:
+    """Run one experiment twice; return (match, first, second) canonical payloads.
+
+    Canonicalization reuses the trace policy (:func:`canonical_value`):
+    sorted dict keys and quantized floats, so a reorder or a sub-ULP
+    float wobble does not count as a divergence but any real numeric or
+    structural change does.
+    """
+    _, runner = EXPERIMENTS[experiment_id]
+    first = canonical_value(runner())
+    second = canonical_value(runner())
+    return first == second, first, second
+
+
+def replay_check(ids: List[str]) -> int:
+    """Run each experiment twice and report reproducibility; exit-style int."""
+    failures = 0
+    for experiment_id in ids:
+        match, first, second = replay_check_experiment(experiment_id)
+        if match:
+            print(f"[ok] {experiment_id}: two runs agree")
+            continue
+        failures += 1
+        print(f"[DIVERGED] {experiment_id}: runs disagree")
+        print(f"  run 1: {first!r}")
+        print(f"  run 2: {second!r}")
+    print(f"{len(ids)} experiment(s): {len(ids) - failures} ok, {failures} diverged")
+    return 1 if failures else 0
+
+
 def main(argv: List[str]) -> int:
-    requested = argv or list(EXPERIMENTS)
+    check_mode = "--replay-check" in argv
+    requested = [arg for arg in argv if arg != "--replay-check"] or list(EXPERIMENTS)
     unknown = [experiment_id for experiment_id in requested if experiment_id not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {unknown}; available: {sorted(EXPERIMENTS)}")
         return 2
+    if check_mode:
+        return replay_check(requested)
     run(requested)
     return 0
 

@@ -292,6 +292,54 @@ class IntegratedScenario(_BaseScenario):
             self.pair.settle()
 
 
+class PairEnvScenario(_BaseScenario):
+    """A minimal two-node environment hosting an arbitrary app pair.
+
+    The lightest thing that still satisfies the :mod:`repro.faults`
+    environment contract — used by benchmark experiments and by the
+    replay checker's checkpoint round-trip subjects.
+    """
+
+    NODES = ("alpha", "beta")
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[OfttConfig] = None,
+        app_factory=None,
+        unit: str = "bench",
+        dual_lan: bool = False,
+    ) -> None:
+        super().__init__(seed, dual_lan)
+        self.config = config or OfttConfig()
+        for name in self.NODES:
+            self._add_machine(name).boot_immediately()
+        self.pair = OfttPair(
+            network=self.network,
+            systems={name: self.systems[name] for name in self.NODES},
+            config=self.config,
+            app_factory=app_factory,
+            unit=unit,
+            trace=self.trace,
+        )
+
+    def start(self, settle: bool = True) -> None:
+        """Start the pair."""
+        self.pair.start()
+        if settle:
+            self.pair.settle()
+
+    def primary_app(self):
+        """The app copy currently executing (None during failover)."""
+        primary = self.pair.primary_node()
+        return self.pair.apps[primary] if primary is not None else None
+
+
+def build_pair_env(seed: int = 0, config: Optional[OfttConfig] = None, app_factory=None, **kwargs) -> PairEnvScenario:
+    """Construct (without starting) a minimal two-node pair environment."""
+    return PairEnvScenario(seed=seed, config=config, app_factory=app_factory, **kwargs)
+
+
 def build_demo(seed: int = 0, config: Optional[OfttConfig] = None, **kwargs) -> DemoScenario:
     """Construct (without starting) the Figure 3 demo scenario."""
     return DemoScenario(seed=seed, config=config, **kwargs)

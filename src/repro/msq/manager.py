@@ -45,8 +45,6 @@ class _OutgoingEntry:
 class QueueManager:
     """The MSMQ service for one node."""
 
-    _msg_counter = itertools.count(1)
-
     def __init__(
         self,
         kernel: SimKernel,
@@ -62,6 +60,15 @@ class QueueManager:
         self.message_ttl = message_ttl
         self.queues: Dict[str, MsmqQueue] = {}
         self.outgoing: Dict[str, _OutgoingEntry] = {}
+        # Message ids must be unique per sending node even across a node
+        # reinstall (receivers dedup on seen ids), so the id carries the
+        # manager's creation epoch: a replacement manager — necessarily
+        # created at a later sim time — can never reuse a predecessor's
+        # ids.  An instance counter alone would restart at 1 and collide;
+        # the old class-level counter avoided that but leaked across
+        # scenarios, so identical-seed runs produced different ids.
+        self._msg_epoch = int(kernel.now)
+        self._msg_counter = itertools.count(1)
         self.service_up = True
         self.stats = {"sent": 0, "delivered_local": 0, "acked": 0, "retries": 0, "dead_lettered": 0}
         self.create_queue(DEAD_LETTER_QUEUE)
@@ -112,7 +119,7 @@ class QueueManager:
         """
         if not self.service_up:
             raise MsqError(f"queue manager on {self.node.name} is down")
-        message_id = f"{self.node.name}-{next(self._msg_counter)}"
+        message_id = f"{self.node.name}-{self._msg_epoch}.{next(self._msg_counter)}"
         message = QueueMessage(
             message_id=message_id,
             sender=self.node.name,
@@ -146,6 +153,10 @@ class QueueManager:
         messages were redirected.
         """
         count = 0
+        # Insertion order of `outgoing` IS send order — redirects and
+        # retries deliberately walk messages oldest-first (FIFO), and the
+        # dict is only ever appended to in send() and popped on ack, so
+        # that order is stable across runs.
         for entry in self.outgoing.values():
             if entry.dest_node == old_node:
                 entry.dest_node = new_node

@@ -2,8 +2,7 @@
 
 from __future__ import annotations
 
-import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, List, Optional
 
 
@@ -32,8 +31,6 @@ class MsmqQueue:
     a push callback.  A journal keeps copies of consumed messages when
     enabled (useful for the diverter's redelivery window).
     """
-
-    _seq = itertools.count(1)
 
     def __init__(self, name: str, owner_node: str, journal: bool = False) -> None:
         self.name = name

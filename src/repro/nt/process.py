@@ -35,11 +35,11 @@ class ProcessState(enum.Enum):
 class NTProcess:
     """A simulated NT process."""
 
-    _next_pid = 1000
-
     def __init__(self, system: "NTSystem", name: str) -> None:
-        NTProcess._next_pid += 4
-        self.pid = NTProcess._next_pid
+        # pids come from the owning machine, not a class-level counter:
+        # process-global counters survive across scenarios in one Python
+        # process and make identical-seed runs trace different pids.
+        self.pid = system.allocate_pid()
         self.system = system
         self.name = name
         self.state = ProcessState.CREATED
@@ -47,11 +47,20 @@ class NTProcess:
         self.address_space = AddressSpace(name)
         self.iat = ImportAddressTable()
         self.threads: Dict[int, NTThread] = {}
+        # Per-process tid allocation: tids name stack regions in the
+        # checkpoint walkthrough, so a relaunched process must hand out
+        # the same tids as its predecessor for images to compare equal.
+        self._next_tid = 100
         self.static_thread_tids: List[int] = []
         self.bound_ports: List[str] = []
         self.on_exit: List[Callable[["NTProcess"], None]] = []
 
     # -- thread management ---------------------------------------------------
+
+    def allocate_tid(self) -> int:
+        """Next thread id in this process (stride 4, NT-style)."""
+        self._next_tid += 4
+        return self._next_tid
 
     def create_thread(self, name: str, body: Optional[ThreadBody] = None, dynamic: bool = True) -> NTThread:
         """Create (and start, if the process runs) a thread.

@@ -64,6 +64,10 @@ class NTSystem:
         self.registry = NTRegistry()
         self.perfmon = PerfMon(self)
         self.processes: Dict[str, NTProcess] = {}
+        # Per-machine pid allocation: a class-level counter would leak
+        # state across scenarios in one Python process, so two runs of
+        # the same seed would trace different pids (replay divergence).
+        self._next_pid = 1000
         self.boot_count = 0
         self.booted_at: Optional[float] = None
         self.on_boot: List[Callable[["NTSystem"], None]] = []
@@ -148,6 +152,11 @@ class NTSystem:
         self.trace.emit("nt", self.node.name, "all-processes-killed", reason=reason)
 
     # -- process table ----------------------------------------------------------
+
+    def allocate_pid(self) -> int:
+        """Next process id on this machine (stride 4, NT-style)."""
+        self._next_pid += 4
+        return self._next_pid
 
     def create_process(self, name: str) -> NTProcess:
         """Create a process (machine must be UP; names must be unique among

@@ -84,8 +84,6 @@ class NTThread:
         problem) unless an IAT hook recorded them.
     """
 
-    _next_tid = 100
-
     def __init__(
         self,
         process: "NTProcess",
@@ -94,8 +92,10 @@ class NTThread:
         dynamic: bool = False,
         start_address: int = 0x0040_1000,
     ) -> None:
-        NTThread._next_tid += 4
-        self.tid = NTThread._next_tid
+        # tids are allocated per-process (see NTProcess.allocate_tid);
+        # the tid names the stack region below, so it must be stable
+        # across relaunches for checkpoint images to round-trip.
+        self.tid = process.allocate_tid()
         self.process = process
         self.name = name
         self.body = body

@@ -42,8 +42,6 @@ class OpcGroup(ComObject):
     """One subscription group inside an :class:`OpcServer`."""
 
     IMPLEMENTS = (IOPC_ASYNC_IO,)
-    _handle_counter = itertools.count(1)
-    _transaction_counter = itertools.count(1)
     #: Simulated device-read turnaround for async operations.
     ASYNC_LATENCY = 20.0
 
@@ -59,6 +57,13 @@ class OpcGroup(ComObject):
         self.update_rate = update_rate
         self.deadband = deadband  # percent of value span, 0 disables
         self.active = True
+        # Handles and transaction ids are scoped to this group instance
+        # (clients never mix them across groups), so per-instance counters
+        # are safe — and unlike class-level ones they don't carry state
+        # between scenarios in a single Python process, which made
+        # identical-seed runs hand out different handles.
+        self._handle_counter = itertools.count(1)
+        self._transaction_counter = itertools.count(1)
         self.items: Dict[int, str] = {}  # client handle -> item id
         self._last_sent: Dict[int, OpcValue] = {}
         self._pending: Dict[int, OpcValue] = {}
@@ -250,7 +255,11 @@ class OpcGroup(ComObject):
         """Called by the server whenever the namespace cache changes."""
         if not self.active or (self._sink_local is None and self._sink_remote is None):
             return
-        for handle, subscribed_id in self.items.items():
+        # Sorted by handle so the pending-update fan-out is ordered by a
+        # stable key rather than dict insertion history (which add/remove
+        # churn — or a restore path rebuilding the group — could reorder).
+        for handle in sorted(self.items):
+            subscribed_id = self.items[handle]
             if subscribed_id != item_id:
                 continue
             if self._within_deadband(handle, new_value):

@@ -1,0 +1,7 @@
+"""``python -m repro.replay`` entry point."""
+
+import sys
+
+from repro.replay.cli import main
+
+sys.exit(main())

@@ -1,0 +1,81 @@
+"""Trace canonicalization: TraceLog -> comparable event stream.
+
+Two runs of the same scenario are "identical" iff their canonical event
+streams are equal.  Canonicalization applies three rules (documented in
+REPLAY.md):
+
+1. **Stable detail keys** — detail dicts are re-emitted with sorted keys
+   so construction order never shows up as a diff.
+2. **Float quantization** — every float is rounded to
+   :data:`repro.simnet.trace.QUANTIZE_DECIMALS` places, absorbing
+   representation noise while staying far below scheduling granularity.
+3. **Per-component sequence numbers** — each event carries its ordinal
+   within its component's own stream, so a divergence report can say
+   "the 14th event of node2/oftt-engine" even when global interleaving
+   has already drifted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List
+
+from repro.simnet.trace import TraceLog, canonical_detail, quantize
+
+
+@dataclass(frozen=True)
+class CanonicalEvent:
+    """One trace record in canonical, comparison-ready form."""
+
+    index: int  #: position in the full (global) stream
+    time: float  #: quantized sim time
+    category: str
+    component: str
+    event: str
+    component_seq: int  #: ordinal within this component's own stream
+    detail: Dict[str, Any]  #: sorted keys, quantized floats
+
+    def key(self) -> tuple:
+        """The comparison identity (everything except the global index)."""
+        return (self.time, self.category, self.component, self.event, self.component_seq, self.detail)
+
+    def as_wire(self) -> Dict[str, Any]:
+        """JSON-ready form (used by the ``repro.replay/v1`` reporter)."""
+        return {
+            "index": self.index,
+            "time": self.time,
+            "category": self.category,
+            "component": self.component,
+            "event": self.event,
+            "component_seq": self.component_seq,
+            "detail": self.detail,
+        }
+
+    def render(self) -> str:
+        """One-line human rendering, mirroring ``TraceRecord.__str__``."""
+        extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
+        return (
+            f"#{self.index:<6d} [{self.time:12.3f}] {self.category:<10} "
+            f"{self.component:<24} (seq {self.component_seq}) {self.event} {extras}"
+        ).rstrip()
+
+
+def canonicalize_trace(trace: TraceLog) -> List[CanonicalEvent]:
+    """Convert a :class:`TraceLog` into its canonical event stream."""
+    events: List[CanonicalEvent] = []
+    component_counts: Dict[str, int] = {}
+    for index, record in enumerate(trace.records):
+        seq = component_counts.get(record.component, 0) + 1
+        component_counts[record.component] = seq
+        events.append(
+            CanonicalEvent(
+                index=index,
+                time=quantize(record.time),
+                category=record.category,
+                component=record.component,
+                event=record.event,
+                component_seq=seq,
+                detail=canonical_detail(record.detail),
+            )
+        )
+    return events

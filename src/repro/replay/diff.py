@@ -1,0 +1,129 @@
+"""First-divergence diff between two canonical event streams.
+
+The diff is deliberately *first*-divergence only: once two deterministic
+runs fork, everything downstream differs for cascading reasons, so only
+the earliest mismatch localizes the bug.  The report carries the
+mismatching events from both runs, a field-level delta, and a window of
+surrounding context from each stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.replay.canonical import CanonicalEvent
+
+#: Events of surrounding context shown on each side of a divergence.
+DEFAULT_CONTEXT = 5
+
+
+@dataclass(frozen=True)
+class FieldDelta:
+    """One differing field between the two runs' events."""
+
+    field: str
+    first: Any
+    second: Any
+
+    def as_wire(self) -> Dict[str, Any]:
+        return {"field": self.field, "first": self.first, "second": self.second}
+
+    def render(self) -> str:
+        return f"    {self.field}: run1={self.first!r}  run2={self.second!r}"
+
+
+@dataclass(frozen=True)
+class Divergence:
+    """The earliest point where two runs' event streams disagree."""
+
+    index: int  #: global stream position of the first mismatch
+    first: Optional[CanonicalEvent]  #: run 1's event (None: run 1 ended early)
+    second: Optional[CanonicalEvent]  #: run 2's event (None: run 2 ended early)
+    deltas: List[FieldDelta] = field(default_factory=list)
+    context_first: List[CanonicalEvent] = field(default_factory=list)
+    context_second: List[CanonicalEvent] = field(default_factory=list)
+
+    @property
+    def component(self) -> str:
+        """The component the divergence is attributed to."""
+        event = self.first if self.first is not None else self.second
+        return event.component if event is not None else ""
+
+    @property
+    def event(self) -> str:
+        """The event name the divergence is attributed to."""
+        event = self.first if self.first is not None else self.second
+        return event.event if event is not None else ""
+
+    def as_wire(self) -> Dict[str, Any]:
+        return {
+            "index": self.index,
+            "component": self.component,
+            "event": self.event,
+            "first": self.first.as_wire() if self.first is not None else None,
+            "second": self.second.as_wire() if self.second is not None else None,
+            "deltas": [delta.as_wire() for delta in self.deltas],
+            "context_first": [event.as_wire() for event in self.context_first],
+            "context_second": [event.as_wire() for event in self.context_second],
+        }
+
+    def render(self) -> str:
+        lines = [f"first divergence at event #{self.index}: component={self.component!r} event={self.event!r}"]
+        if self.first is None:
+            lines.append("  run 1: <stream ended>")
+        else:
+            lines.append(f"  run 1: {self.first.render()}")
+        if self.second is None:
+            lines.append("  run 2: <stream ended>")
+        else:
+            lines.append(f"  run 2: {self.second.render()}")
+        if self.deltas:
+            lines.append("  field deltas:")
+            lines.extend(delta.render() for delta in self.deltas)
+        if self.context_first:
+            lines.append("  context (run 1):")
+            lines.extend(f"    {event.render()}" for event in self.context_first)
+        if self.context_second:
+            lines.append("  context (run 2):")
+            lines.extend(f"    {event.render()}" for event in self.context_second)
+        return "\n".join(lines)
+
+
+def _field_deltas(a: CanonicalEvent, b: CanonicalEvent) -> List[FieldDelta]:
+    deltas: List[FieldDelta] = []
+    for name in ("time", "category", "component", "event", "component_seq"):
+        first, second = getattr(a, name), getattr(b, name)
+        if first != second:
+            deltas.append(FieldDelta(field=name, first=first, second=second))
+    if a.detail != b.detail:
+        keys = sorted(set(a.detail) | set(b.detail))
+        for key in keys:
+            first, second = a.detail.get(key), b.detail.get(key)
+            if first != second:
+                deltas.append(FieldDelta(field=f"detail.{key}", first=first, second=second))
+    return deltas
+
+
+def first_divergence(
+    first: List[CanonicalEvent],
+    second: List[CanonicalEvent],
+    context: int = DEFAULT_CONTEXT,
+) -> Optional[Divergence]:
+    """Earliest mismatch between two canonical streams (None if equal)."""
+    for index in range(max(len(first), len(second))):
+        a = first[index] if index < len(first) else None
+        b = second[index] if index < len(second) else None
+        if a is not None and b is not None and a.key() == b.key():
+            continue
+        low = max(0, index - context)
+        high = index + context + 1
+        return Divergence(
+            index=index,
+            first=a,
+            second=b,
+            deltas=_field_deltas(a, b) if a is not None and b is not None else [],
+            context_first=first[low:high],
+            context_second=second[low:high],
+        )
+    return None

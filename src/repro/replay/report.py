@@ -1,0 +1,66 @@
+"""Replay-check reporters: human text and machine JSON.
+
+Mirrors :mod:`repro.analysis.report`: the JSON schema
+(``repro.replay/v1``) is a stability contract — extend it by adding
+keys, never by renaming or removing them.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Sequence, Union
+
+from repro.replay.runner import ReplayResult, RoundTripResult
+
+JSON_SCHEMA = "repro.replay/v1"
+
+Result = Union[ReplayResult, RoundTripResult]
+
+
+def outcome_counts(results: Sequence[Result]) -> Dict[str, int]:
+    """``{"ok": n, "diverged": n}`` (always both keys)."""
+    ok = sum(1 for result in results if result.ok)
+    return {"ok": ok, "diverged": len(results) - ok}
+
+
+def _render_one(result: Result) -> List[str]:
+    status = "ok" if result.ok else "DIVERGED"
+    if isinstance(result, ReplayResult):
+        lines = [
+            f"[{status}] {result.subject} (seed {result.seed}): "
+            f"{result.events} events, fingerprint {result.fingerprint_first}"
+        ]
+        if result.divergence is not None:
+            lines.extend("  " + line for line in result.divergence.render().splitlines())
+        elif result.payload_mismatch is not None:
+            lines.append("  trace identical but result payloads differ:")
+            lines.append(f"    run 1: {result.payload_mismatch['first']!r}")
+            lines.append(f"    run 2: {result.payload_mismatch['second']!r}")
+        return lines
+    lines = [
+        f"[{status}] {result.subject} (seed {result.seed}): "
+        f"app {result.app_name}, image {result.image_bytes} bytes, {len(result.regions)} region(s)"
+    ]
+    if not result.ok:
+        lines.append(f"  {result.mismatch}")
+    return lines
+
+
+def render_text(results: Sequence[Result]) -> str:
+    """One block per subject plus a summary trailer."""
+    lines: List[str] = []
+    for result in results:
+        lines.extend(_render_one(result))
+    counts = outcome_counts(results)
+    lines.append(f"{len(results)} subject(s): {counts['ok']} ok, {counts['diverged']} diverged")
+    return "\n".join(lines)
+
+
+def render_json(results: Sequence[Result]) -> str:
+    """Stable JSON document (sorted keys, newline-terminated)."""
+    document = {
+        "schema": JSON_SCHEMA,
+        "counts": outcome_counts(results),
+        "results": [result.as_wire() for result in results],
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"

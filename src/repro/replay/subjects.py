@@ -1,0 +1,189 @@
+"""Named replay subjects: the things ``oftt-replay`` knows how to check.
+
+Two kinds:
+
+* **trace** subjects build and drive a harness scenario (optionally with
+  a fault campaign) and are checked by running twice with the same seed
+  and diffing the canonical traces (:func:`run_twice_and_diff`).
+* **roundtrip** subjects warm a scenario, then require one application's
+  checkpoint to survive capture -> restore -> capture byte-identically
+  (:func:`checkpoint_roundtrip`).
+
+Subjects are plain factories so the self-tests can reuse them, and the
+registry is ordered (cheapest first) so ``--gate`` fails fast.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Union
+
+from repro.apps.synthetic import SyntheticStateApp
+from repro.faults.campaign import Campaign
+from repro.faults.faultlib import AppCrash, BlueScreen, MiddlewareCrash, NodeFailure, NodeReboot
+from repro.faults.injector import FaultInjector
+from repro.harness.scenario import (
+    build_demo,
+    build_integrated,
+    build_pair_env,
+    build_remote_monitoring,
+)
+from repro.replay.runner import (
+    ReplayResult,
+    RoundTripResult,
+    checkpoint_roundtrip,
+    run_twice_and_diff,
+)
+
+CheckResult = Union[ReplayResult, RoundTripResult]
+
+#: Default sim time a trace subject runs for (ms).
+DEFAULT_DURATION = 30_000.0
+#: Warm-up before a round-trip capture or a fault campaign (ms).
+DEFAULT_WARMUP = 15_000.0
+
+
+@dataclass(frozen=True)
+class Subject:
+    """One named determinism check."""
+
+    name: str
+    kind: str  #: "trace" or "roundtrip"
+    description: str
+    check: Callable[[int], CheckResult]  #: seed -> result
+
+
+# -- trace subjects ---------------------------------------------------------
+
+
+def _demo_trace(seed: int):
+    scenario = build_demo(seed=seed)
+    scenario.start()
+    scenario.run_for(DEFAULT_DURATION)
+    return scenario.trace
+
+
+def _remote_monitoring_trace(seed: int):
+    scenario = build_remote_monitoring(seed=seed)
+    scenario.start()
+    scenario.run_for(DEFAULT_DURATION)
+    return scenario.trace
+
+
+def _integrated_trace(seed: int):
+    scenario = build_integrated(seed=seed)
+    scenario.start()
+    scenario.run_for(DEFAULT_DURATION)
+    return scenario.trace
+
+
+def _demo_campaign_trace(seed: int):
+    """The §4 failure demos (a)-(d) as a replay subject.
+
+    Returns ``(trace, campaign signature)`` so the checker gates on both
+    the event stream and the per-injection outcomes.
+    """
+    scenario = build_demo(seed=seed)
+    scenario.start()
+    scenario.run_for(DEFAULT_WARMUP)
+    campaign = Campaign(scenario.kernel, scenario, settle_timeout=30_000.0, inter_fault_gap=5_000.0)
+    for make_fault in (
+        lambda node: NodeFailure(node),
+        lambda node: BlueScreen(node),
+        lambda node: AppCrash(node, "calltrack"),
+        lambda node: MiddlewareCrash(node),
+    ):
+        primary = scenario.pair.primary_node()
+        campaign.run_fault(make_fault(primary))
+        # Repair between demos, as exp_failover_demos does: reboot a
+        # downed machine (or reinstall a crashed middleware) so the next
+        # demo starts from a healthy pair.
+        failed_system = scenario.systems[primary]
+        if failed_system.state.value in ("off", "bluescreen"):
+            FaultInjector(scenario.kernel, scenario).inject_now(NodeReboot(primary, reinstall=True))
+        elif not scenario.pair.engines[primary].alive:
+            scenario.pair.reinstall_node(primary)
+        scenario.run_for(5_000.0)
+    return scenario.trace, campaign.replay_signature()
+
+
+# -- checkpoint round-trip subjects ----------------------------------------
+
+
+def _roundtrip_scada(seed: int) -> RoundTripResult:
+    scenario = build_remote_monitoring(seed=seed)
+    scenario.start()
+    scenario.run_for(DEFAULT_WARMUP)
+    return checkpoint_roundtrip(scenario, scenario.primary_app(), subject="roundtrip-scada", seed=seed)
+
+
+def _roundtrip_calltrack(seed: int) -> RoundTripResult:
+    scenario = build_demo(seed=seed)
+    scenario.start()
+    scenario.run_for(DEFAULT_WARMUP)
+    return checkpoint_roundtrip(scenario, scenario.primary_app(), subject="roundtrip-calltrack", seed=seed)
+
+
+def _roundtrip_synthetic(mode: str, subject: str):
+    def check(seed: int) -> RoundTripResult:
+        scenario = build_pair_env(
+            seed=seed,
+            app_factory=lambda: SyntheticStateApp(cold_kb=8, mode=mode),
+        )
+        scenario.start()
+        scenario.run_for(DEFAULT_WARMUP)
+        return checkpoint_roundtrip(scenario, scenario.primary_app(), subject=subject, seed=seed)
+
+    return check
+
+
+def _trace_subject(name: str, description: str, factory) -> Subject:
+    def check(seed: int) -> ReplayResult:
+        return run_twice_and_diff(factory, seed=seed, subject=name)
+
+    return Subject(name=name, kind="trace", description=description, check=check)
+
+
+SUBJECTS: Dict[str, Subject] = {
+    subject.name: subject
+    for subject in [
+        _trace_subject("demo", "Figure 3 Call Track testbed, fault-free run", _demo_trace),
+        _trace_subject("remote-monitoring", "Figure 1(a) SCADA pair over an OPC server", _remote_monitoring_trace),
+        _trace_subject("integrated", "Figure 1(b) integrated server+client pair", _integrated_trace),
+        _trace_subject("demo-campaign", "§4 failure demos (a)-(d) with outcome signature", _demo_campaign_trace),
+        Subject(
+            name="roundtrip-scada",
+            kind="roundtrip",
+            description="SCADA checkpoint capture->restore->capture byte stability",
+            check=_roundtrip_scada,
+        ),
+        Subject(
+            name="roundtrip-calltrack",
+            kind="roundtrip",
+            description="Call Track checkpoint capture->restore->capture byte stability",
+            check=_roundtrip_calltrack,
+        ),
+        Subject(
+            name="roundtrip-synthetic-full",
+            kind="roundtrip",
+            description="Synthetic app (full walkthrough) image byte stability",
+            check=_roundtrip_synthetic("full", "roundtrip-synthetic-full"),
+        ),
+        Subject(
+            name="roundtrip-synthetic-selective",
+            kind="roundtrip",
+            description="Synthetic app (OFTTSelSave) image byte stability",
+            check=_roundtrip_synthetic("selective", "roundtrip-synthetic-selective"),
+        ),
+    ]
+}
+
+
+def run_subject(name: str, seed: int = 0) -> CheckResult:
+    """Run one named subject and return its result."""
+    return SUBJECTS[name].check(seed)
+
+
+def subject_names(kind: str = "") -> List[str]:
+    """Registered subject names, optionally filtered by kind."""
+    return [name for name, subject in SUBJECTS.items() if not kind or subject.kind == kind]

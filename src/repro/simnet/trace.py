@@ -8,8 +8,49 @@ heartbeat timeout elapsed") rather than only on final state.
 
 from __future__ import annotations
 
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
+
+#: Float quantization used by trace canonicalization (decimal places).
+#: Sim times are millisecond-scale floats; 9 places is far below any
+#: scheduling granularity while absorbing representation noise.
+QUANTIZE_DECIMALS = 9
+
+
+def quantize(value: float) -> float:
+    """Quantize a float to the canonical trace precision."""
+    rounded = round(value, QUANTIZE_DECIMALS)
+    # Normalize -0.0 so signed zeros never diverge.
+    return rounded + 0.0
+
+
+def canonical_value(value: Any) -> Any:
+    """Recursively canonicalize a detail value for comparison.
+
+    Floats are quantized, dicts get sorted keys, sets become sorted
+    lists, tuples become lists — so two semantically equal details
+    serialize to identical JSON regardless of construction order.
+    """
+    if isinstance(value, bool) or value is None or isinstance(value, (int, str)):
+        return value
+    if isinstance(value, float):
+        return quantize(value)
+    if isinstance(value, dict):
+        return {str(k): canonical_value(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
+    if isinstance(value, (set, frozenset)):
+        return sorted(json.dumps(canonical_value(v), sort_keys=True, default=str) for v in value)
+    if isinstance(value, (list, tuple)):
+        return [canonical_value(v) for v in value]
+    return repr(value)
+
+
+def canonical_detail(detail: Dict[str, Any]) -> Dict[str, Any]:
+    """Canonical (sorted-key, quantized) form of a record's detail dict."""
+    canonical = canonical_value(detail)
+    assert isinstance(canonical, dict)
+    return canonical
 
 
 @dataclass(frozen=True)
@@ -25,6 +66,26 @@ class TraceRecord:
     def __str__(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
         return f"[{self.time:12.3f}] {self.category:<10} {self.component:<24} {self.event} {extras}".rstrip()
+
+    def as_wire(self) -> Dict[str, Any]:
+        """Canonical serializable form (stable key order, quantized floats).
+
+        This is the comparison unit used by ``repro.replay``: two records
+        from different runs are "the same event" iff their wire forms are
+        equal.
+        """
+        return {
+            "time": quantize(self.time),
+            "category": self.category,
+            "component": self.component,
+            "event": self.event,
+            "detail": canonical_detail(self.detail),
+        }
+
+    def fingerprint(self) -> str:
+        """Short stable hash of the wire form (for compact diffs)."""
+        payload = json.dumps(self.as_wire(), sort_keys=True, separators=(",", ":"))
+        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 class TraceLog:
@@ -62,14 +123,19 @@ class TraceLog:
         since: float = float("-inf"),
         until: float = float("inf"),
     ) -> List[TraceRecord]:
-        """Filter records by any combination of fields and a time window."""
+        """Filter records by any combination of fields and a time window.
+
+        The window is half-open ``[since, until)``: a record stamped
+        exactly at *until* is excluded, so adjacent windows tile the
+        timeline without double-counting.
+        """
         return [
             record
             for record in self.records
             if (category is None or record.category == category)
             and (component is None or record.component == component)
             and (event is None or record.event == event)
-            and since <= record.time <= until
+            and since <= record.time < until
         ]
 
     def first(self, **kwargs: Any) -> Optional[TraceRecord]:
@@ -96,3 +162,20 @@ class TraceLog:
         """Human-readable rendering of (the tail of) the trace."""
         records = self.records if limit is None else self.records[-limit:]
         return "\n".join(str(record) for record in records)
+
+    def as_wire(self) -> List[Dict[str, Any]]:
+        """Canonical serializable form of the whole log (see TraceRecord.as_wire)."""
+        return [record.as_wire() for record in self.records]
+
+    def fingerprint(self) -> str:
+        """Stable hash over the canonical wire form of the full log.
+
+        Two runs of the same scenario with the same seed should yield
+        identical fingerprints; ``repro.replay`` uses this as the cheap
+        equality check before computing an event-by-event diff.
+        """
+        digest = hashlib.sha256()
+        for record in self.records:
+            digest.update(record.fingerprint().encode("ascii"))
+            digest.update(b"\n")
+        return digest.hexdigest()[:16]

@@ -123,3 +123,59 @@ def test_syntax_error_is_reported_not_crashed(tmp_path, capsys):
     code, out = run_cli([str(broken)], capsys)
     assert code == 1
     assert "GEN001" in out
+
+
+# -- per-directory rule profile (--relax) --------------------------------
+
+
+def _entropy_file(root, name="gen.py"):
+    path = root / name
+    path.write_text("import os\n\nTOKEN = os.urandom(4)\n", encoding="utf-8")
+    return path
+
+
+def test_relax_downgrades_matching_rules_to_info(tmp_path, capsys):
+    _entropy_file(tmp_path)
+    code, out = run_cli([str(tmp_path), "--strict", "--relax", f"{tmp_path}=DET003"], capsys)
+    assert code == 0
+    assert "info DET003" in out  # still reported, no longer gating
+
+
+def test_relax_is_scoped_to_the_prefix(tmp_path, capsys):
+    inside = tmp_path / "covered"
+    outside = tmp_path / "elsewhere"
+    inside.mkdir()
+    outside.mkdir()
+    _entropy_file(inside)
+    _entropy_file(outside)
+    code, out = run_cli([str(tmp_path), "--relax", f"{inside}=DET003"], capsys)
+    assert code == 1  # the un-relaxed copy still gates
+    assert out.count("error DET003") == 1
+    assert out.count("info DET003") == 1
+
+
+def test_relax_accepts_slugs_and_is_repeatable(tmp_path, capsys):
+    _entropy_file(tmp_path)
+    wall = tmp_path / "wall.py"
+    wall.write_text("import time\n\n\ndef f(kernel):\n    kernel.schedule(time.time(), f)\n", encoding="utf-8")
+    code, out = run_cli(
+        [str(tmp_path), "--relax", f"{tmp_path}=entropy", "--relax", f"{tmp_path}=wall-clock"],
+        capsys,
+    )
+    assert code == 0
+    assert "info DET003" in out
+    assert "info DET001" in out
+
+
+def test_relax_bad_spec_and_unknown_rule_are_usage_errors(capsys):
+    assert main([SRC_REPRO, "--relax", "no-equals-sign"]) == 2
+    assert main([SRC_REPRO, "--relax", "src=NOPE999"]) == 2
+
+
+def test_tests_tree_is_clean_under_the_test_profile(capsys):
+    tests_dir = os.path.join(REPO_ROOT, "tests")
+    code, out = run_cli(
+        [tests_dir, "--strict", "--relax", f"{tests_dir}=DET002,DET003,DET006"],
+        capsys,
+    )
+    assert code == 0, f"tests/ lint failed under the relaxed profile:\n{out}"

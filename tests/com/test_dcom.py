@@ -24,7 +24,7 @@ class Calc(ComObject):
         return a + b
 
     def Boom(self):
-        raise ValueError("kaput")
+        raise ValueError("kaput")  # oftt-lint: ok[com-bare-raise] -- exercises the bare-E_FAIL marshalling path
 
     def Notify(self, payload):
         self.notifications.append(payload)

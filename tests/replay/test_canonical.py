@@ -1,0 +1,52 @@
+"""Canonical event stream: sequence numbers, key identity, wire form."""
+
+from __future__ import annotations
+
+from repro.replay.canonical import CanonicalEvent, canonicalize_trace
+from repro.simnet.trace import TraceLog
+
+
+def _log_with(records):
+    clock_value = [0.0]
+    log = TraceLog(clock=lambda: clock_value[0])
+    for time, category, component, event, detail in records:
+        clock_value[0] = time
+        log.emit(category, component, event, **detail)
+    return log
+
+
+def test_per_component_sequence_numbers():
+    log = _log_with(
+        [
+            (1.0, "ft", "engine:a", "heartbeat", {}),
+            (2.0, "ft", "engine:b", "heartbeat", {}),
+            (3.0, "ft", "engine:a", "heartbeat", {}),
+            (4.0, "ft", "engine:a", "takeover", {}),
+        ]
+    )
+    events = canonicalize_trace(log)
+    assert [e.component_seq for e in events] == [1, 1, 2, 3]
+    assert [e.index for e in events] == [0, 1, 2, 3]
+
+
+def test_detail_is_canonicalized():
+    log = _log_with([(1.0, "ft", "engine", "tick", {"zeta": 0.1 + 0.2, "alpha": 1})])
+    (event,) = canonicalize_trace(log)
+    assert list(event.detail) == ["alpha", "zeta"]
+    assert event.detail["zeta"] == 0.3
+
+
+def test_key_ignores_global_index():
+    a = CanonicalEvent(index=3, time=1.0, category="ft", component="c", event="e", component_seq=1, detail={})
+    b = CanonicalEvent(index=9, time=1.0, category="ft", component="c", event="e", component_seq=1, detail={})
+    assert a.key() == b.key()
+    assert a.as_wire()["index"] != b.as_wire()["index"]
+
+
+def test_render_names_component_and_seq():
+    log = _log_with([(1.5, "ft", "engine:a", "takeover", {"why": "timeout"})])
+    (event,) = canonicalize_trace(log)
+    line = event.render()
+    assert "engine:a" in line
+    assert "takeover" in line
+    assert "seq 1" in line

@@ -1,0 +1,71 @@
+"""First-divergence diff: localization, field deltas, context windows."""
+
+from __future__ import annotations
+
+from repro.replay.canonical import CanonicalEvent
+from repro.replay.diff import first_divergence
+
+
+def _stream(n, component="engine", detail_for=None):
+    events = []
+    for index in range(n):
+        events.append(
+            CanonicalEvent(
+                index=index,
+                time=float(index),
+                category="ft",
+                component=component,
+                event=f"event-{index}",
+                component_seq=index + 1,
+                detail=(detail_for(index) if detail_for else {}),
+            )
+        )
+    return events
+
+
+def test_identical_streams_have_no_divergence():
+    assert first_divergence(_stream(20), _stream(20)) is None
+
+
+def test_divergence_is_localized_to_first_mismatch():
+    first = _stream(20, detail_for=lambda i: {"value": i})
+    second = _stream(20, detail_for=lambda i: {"value": i if i < 7 else i + 100})
+    divergence = first_divergence(first, second)
+    assert divergence is not None
+    assert divergence.index == 7
+    assert divergence.component == "engine"
+    assert divergence.event == "event-7"
+    (delta,) = divergence.deltas
+    assert delta.field == "detail.value"
+    assert (delta.first, delta.second) == (7, 107)
+
+
+def test_context_windows_surround_the_divergence():
+    first = _stream(20, detail_for=lambda i: {"value": i})
+    second = _stream(20, detail_for=lambda i: {"value": i if i != 10 else -1})
+    divergence = first_divergence(first, second, context=3)
+    assert [e.index for e in divergence.context_first] == [7, 8, 9, 10, 11, 12, 13]
+    assert [e.index for e in divergence.context_second] == [7, 8, 9, 10, 11, 12, 13]
+
+
+def test_length_mismatch_reports_stream_end():
+    first = _stream(5)
+    second = _stream(8)
+    divergence = first_divergence(first, second)
+    assert divergence.index == 5
+    assert divergence.first is None
+    assert divergence.second is not None
+    assert "stream ended" in divergence.render()
+
+
+def test_render_and_wire_name_component_and_event():
+    first = _stream(4, detail_for=lambda i: {"value": i})
+    second = _stream(4, detail_for=lambda i: {"value": -i})
+    divergence = first_divergence(first, second)
+    text = divergence.render()
+    assert "component='engine'" in text
+    assert "event='event-1'" in text
+    wire = divergence.as_wire()
+    assert wire["component"] == "engine"
+    assert wire["event"] == "event-1"
+    assert wire["deltas"][0]["field"] == "detail.value"

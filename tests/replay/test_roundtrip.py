@@ -1,0 +1,79 @@
+"""Checkpoint capture -> restore -> capture byte-stability regressions."""
+
+from __future__ import annotations
+
+from repro.apps.synthetic import SyntheticStateApp
+from repro.core.checkpoint import canonical_image_bytes
+from repro.core.status import ComponentStatus
+from repro.harness.scenario import build_demo, build_pair_env, build_remote_monitoring
+from repro.replay.runner import checkpoint_roundtrip
+
+
+def _warm(scenario, duration=15_000.0):
+    scenario.start()
+    scenario.run_for(duration)
+    return scenario.primary_app()
+
+
+def test_scada_image_roundtrips_byte_identically():
+    scenario = build_remote_monitoring(seed=2)
+    app = _warm(scenario)
+    result = checkpoint_roundtrip(scenario, app, subject="scada", seed=2)
+    assert result.ok, result.mismatch
+    assert result.image_bytes > 0
+    assert result.regions  # at least the globals region
+
+
+def test_calltrack_image_roundtrips_byte_identically():
+    scenario = build_demo(seed=2)
+    app = _warm(scenario)
+    result = checkpoint_roundtrip(scenario, app, subject="calltrack", seed=2)
+    assert result.ok, result.mismatch
+
+
+def test_synthetic_image_roundtrips_in_both_capture_modes():
+    for mode in ("full", "selective"):
+        scenario = build_pair_env(
+            seed=2, app_factory=lambda mode=mode: SyntheticStateApp(cold_kb=4, mode=mode)
+        )
+        app = _warm(scenario)
+        result = checkpoint_roundtrip(scenario, app, subject=f"synthetic-{mode}", seed=2)
+        assert result.ok, f"{mode}: {result.mismatch}"
+
+
+def test_restore_does_not_alias_the_stored_image():
+    # Regression: restore used to rebuild app state from a *shallow* copy
+    # of the image's globals region, so the relaunched app mutated the
+    # checkpoint's own nested containers in place.  The stored image must
+    # stay frozen while the restored app keeps running.
+    scenario = build_remote_monitoring(seed=2)
+    app = _warm(scenario)
+    checkpoint = app.api.ftim.capture()
+    frozen = canonical_image_bytes(checkpoint.image)
+
+    engine = scenario.pair.engines[scenario.pair.primary_node()]
+    record = engine.components.get(app.name)
+    if record is not None:
+        record.status = ComponentStatus.RECOVERING
+    engine.monitor.pause(app.name)
+    app.stop()
+    app.launch(checkpoint.image)
+    if record is not None:
+        record.status = ComponentStatus.RUNNING
+    engine.monitor.resume(app.name)
+
+    scenario.run_for(10_000.0)  # the restored app mutates its live state
+    assert canonical_image_bytes(checkpoint.image) == frozen
+
+
+def test_roundtrip_keeps_pair_healthy():
+    # The restore path must not be misread as an application failure: the
+    # pair should still be stable with the same primary afterwards.
+    scenario = build_demo(seed=2)
+    app = _warm(scenario)
+    primary_before = scenario.pair.primary_node()
+    result = checkpoint_roundtrip(scenario, app, subject="health", seed=2)
+    assert result.ok, result.mismatch
+    scenario.run_for(10_000.0)
+    assert scenario.pair.is_stable()
+    assert scenario.pair.primary_node() == primary_before

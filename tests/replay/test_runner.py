@@ -1,0 +1,100 @@
+"""Run-twice harness: clean factories pass, leaky fixtures fail loudly."""
+
+from __future__ import annotations
+
+import itertools
+
+import pytest
+
+from repro.replay.runner import run_twice_and_diff
+from repro.simnet.trace import TraceLog
+
+
+def _emit_fanout(log, names_in_order):
+    """One 'broadcast' tick: the fixture's fan-out loop."""
+    for seq, name in enumerate(names_in_order):
+        log.emit("opc", "opc-group", "item-update", handle=name, seq=seq)
+
+
+def _clean_factory(seed):
+    log = TraceLog(clock=lambda: 100.0)
+    _emit_fanout(log, ["pressure", "flow", "level"])
+    return log
+
+
+def test_identical_runs_produce_empty_diff():
+    result = run_twice_and_diff(_clean_factory, seed=0, subject="clean")
+    assert result.ok
+    assert result.divergence is None
+    assert result.events == result.events_second == 3
+    assert result.fingerprint_first == result.fingerprint_second
+
+
+def test_unordered_fanout_fixture_diverges_with_named_component():
+    # Scratch fixture reproducing the bug class the replay checker exists
+    # for: fan-out over an unordered container, so the visit order the
+    # subscribers see differs between two runs of the "same" scenario.
+    run_order = itertools.cycle([["pressure", "flow", "level"], ["level", "pressure", "flow"]])
+
+    def leaky_factory(seed):
+        log = TraceLog(clock=lambda: 100.0)
+        _emit_fanout(log, next(run_order))
+        return log
+
+    result = run_twice_and_diff(leaky_factory, seed=0, subject="leaky")
+    assert not result.ok
+    divergence = result.divergence
+    assert divergence is not None
+    assert divergence.index == 0  # the very first fan-out event already differs
+    assert divergence.component == "opc-group"
+    assert divergence.event == "item-update"
+    deltas = {delta.field: (delta.first, delta.second) for delta in divergence.deltas}
+    assert deltas["detail.handle"] == ("pressure", "level")
+    # The rendered report names the component and event for triage.
+    text = divergence.render()
+    assert "opc-group" in text and "item-update" in text
+
+
+def test_class_level_counter_fixture_diverges():
+    # The other classic: a class-level id counter leaking across runs.
+    class Leaky:
+        _ids = itertools.count(1)
+
+    def leaky_factory(seed):
+        log = TraceLog(clock=lambda: 5.0)
+        log.emit("msq", "msq-manager", "send", message_id=next(Leaky._ids))
+        return log
+
+    result = run_twice_and_diff(leaky_factory, seed=0)
+    assert not result.ok
+    assert result.divergence.component == "msq-manager"
+    assert {d.field for d in result.divergence.deltas} == {"detail.message_id"}
+
+
+def test_payload_mismatch_with_identical_trace():
+    payloads = itertools.cycle([{"rows": 3}, {"rows": 4}])
+
+    def factory(seed):
+        return _clean_factory(seed), next(payloads)
+
+    result = run_twice_and_diff(factory, seed=0)
+    assert not result.ok
+    assert result.divergence is None
+    assert result.payload_mismatch == {"first": {"rows": 3}, "second": {"rows": 4}}
+
+
+def test_factory_must_return_a_trace():
+    with pytest.raises(TypeError):
+        run_twice_and_diff(lambda seed: {"not": "a trace"}, seed=0)
+
+
+def test_result_wire_form_is_json_ready():
+    import json
+
+    result = run_twice_and_diff(_clean_factory, seed=3, subject="clean")
+    wire = result.as_wire()
+    assert wire["kind"] == "replay"
+    assert wire["subject"] == "clean"
+    assert wire["seed"] == 3
+    assert wire["ok"] is True
+    json.dumps(wire)  # must be serializable as-is

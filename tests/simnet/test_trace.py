@@ -37,6 +37,21 @@ def test_select_time_window():
     assert len(trace.select(since=15.0, until=25.0)) == 1
 
 
+def test_select_window_is_half_open():
+    """Windows are [since, until): the left edge is included, the right
+    edge excluded, so adjacent windows tile without double-counting."""
+    kernel, trace = build()
+    for t in (10.0, 20.0, 30.0):
+        kernel.schedule(t, trace.emit, "c", "comp", "tick")
+    kernel.run()
+    assert len(trace.select(since=20.0)) == 2  # left edge inclusive
+    assert len(trace.select(until=20.0)) == 1  # right edge exclusive
+    first = trace.select(since=10.0, until=20.0)
+    second = trace.select(since=20.0, until=30.0)
+    assert [r.time for r in first] == [10.0]
+    assert [r.time for r in second] == [20.0]
+
+
 def test_first_last_count():
     kernel, trace = build()
     trace.emit("c", "comp", "a")
@@ -68,6 +83,24 @@ def test_dump_renders_tail():
         trace.emit("c", "comp", f"e{index}")
     dump = trace.dump(limit=2)
     assert "e3" in dump and "e4" in dump and "e0" not in dump
+
+
+def test_as_wire_sorts_detail_keys_and_quantizes_floats():
+    kernel, trace = build()
+    record = trace.emit("c", "comp", "e", zulu=1, alpha=0.1 + 0.2)
+    wire = record.as_wire()
+    assert list(wire["detail"].keys()) == ["alpha", "zulu"]
+    assert wire["detail"]["alpha"] == 0.3
+
+
+def test_fingerprint_ignores_construction_order():
+    kernel, trace_a = build()
+    kernel2, trace_b = build()
+    trace_a.emit("c", "comp", "e", a=1, b=2)
+    trace_b.emit("c", "comp", "e", b=2, a=1)
+    assert trace_a.fingerprint() == trace_b.fingerprint()
+    trace_b.emit("c", "comp", "e2")
+    assert trace_a.fingerprint() != trace_b.fingerprint()
 
 
 def test_empty_trace_is_not_silently_replaced():
