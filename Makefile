@@ -1,10 +1,11 @@
 # Developer entry points.  `make verify` is the CI gate: tier-1 tests,
-# the static-analysis toolkit (see ANALYSIS.md), and the dynamic
-# replay-divergence gate (see REPLAY.md).
+# the static-analysis toolkit (see ANALYSIS.md), the dynamic
+# replay-divergence gate (see REPLAY.md), and the chaos smoke campaign
+# (see CHAOS.md).
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-tests lint-json replay replay-json verify
+.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest verify
 
 test:
 	$(PY) -m pytest -x -q
@@ -27,4 +28,18 @@ replay:
 replay-json:
 	$(PY) -m repro.replay --gate --format json
 
-verify: test lint lint-tests replay
+# The smoke campaign must be violation-free (exit 0), and the sabotaged
+# self-test must be caught by the monitors (exit 1) — both are gates.
+chaos:
+	$(PY) -m repro.chaos --smoke
+
+chaos-selftest:
+	@$(PY) -m repro.chaos --self-test > /dev/null; \
+	status=$$?; \
+	if [ $$status -eq 1 ]; then \
+		echo "chaos self-test: monitors caught the sabotage (exit $$status, as expected)"; \
+	else \
+		echo "chaos self-test: expected exit 1, got $$status" >&2; exit 1; \
+	fi
+
+verify: test lint lint-tests replay chaos chaos-selftest

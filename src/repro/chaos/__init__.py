@@ -1,0 +1,56 @@
+"""Randomized fault campaigns with live invariant monitors.
+
+The §4 demos and :mod:`repro.faults.campaign` replay *scripted* fault
+sequences; this package searches the space the scripts do not cover.
+A seeded :class:`~repro.chaos.schedule.ScheduleGenerator` samples fault
+schedules (including correlated bursts and the gray/asymmetric failure
+modes real deployments hit), a :class:`~repro.chaos.runner.ChaosRun`
+plays each one against a fresh pair testbed while invariant monitors
+watch live state (split-brain, checkpoint monotonicity, diverter
+conservation, recovery latency, heartbeat liveness), and
+:func:`~repro.chaos.minimize.minimize_schedule` delta-debugs any failing
+schedule down to a minimal reproducer.
+
+Everything is deterministic per seed — chaos runs are themselves replay
+subjects under ``oftt-replay``.
+
+* ``python -m repro.chaos --smoke`` — the ``make verify`` gate.
+* ``python -m repro.chaos --self-test`` — prove the monitors fire by
+  sabotaging dual-primary resolution (expected exit: 1).
+
+See ``CHAOS.md`` for the schedule format, invariant catalogue,
+minimizer semantics and a triage guide.
+"""
+
+from repro.chaos.invariants import (
+    CheckpointMonotonicityMonitor,
+    DiverterConservationMonitor,
+    HeartbeatLivenessMonitor,
+    InvariantMonitor,
+    RecoveryLatencyMonitor,
+    SplitBrainMonitor,
+    Violation,
+    default_monitors,
+)
+from repro.chaos.minimize import MinimizationResult, minimize_schedule
+from repro.chaos.runner import ChaosRun, RunResult, run_schedule
+from repro.chaos.schedule import ChaosSchedule, FaultEntry, ScheduleGenerator
+
+__all__ = [
+    "ChaosRun",
+    "ChaosSchedule",
+    "CheckpointMonotonicityMonitor",
+    "DiverterConservationMonitor",
+    "FaultEntry",
+    "HeartbeatLivenessMonitor",
+    "InvariantMonitor",
+    "MinimizationResult",
+    "RecoveryLatencyMonitor",
+    "RunResult",
+    "ScheduleGenerator",
+    "SplitBrainMonitor",
+    "Violation",
+    "default_monitors",
+    "minimize_schedule",
+    "run_schedule",
+]

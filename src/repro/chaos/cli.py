@@ -1,0 +1,154 @@
+"""Command-line driver: ``python -m repro.chaos`` / ``oftt-chaos``.
+
+Exit-code contract (mirrors ``oftt-lint`` / ``oftt-replay``; relied on
+by ``make chaos`` inside ``make verify``):
+
+* ``0`` — every schedule ran with zero invariant violations
+* ``1`` — at least one violation (report includes the minimized
+  reproducer for the first failing schedule)
+* ``2`` — usage error
+
+Examples::
+
+    python -m repro.chaos --smoke                 # the make-verify gate
+    oftt-chaos --seeds 10 --schedules 8           # a bigger campaign
+    oftt-chaos --self-test                        # prove the monitors fire
+    oftt-chaos --smoke --json --out report.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence, Tuple
+
+# oftt-lint: file-ok[ambient-io] -- the chaos driver is a host-side CLI.
+from repro.chaos.minimize import MinimizationResult, minimize_schedule
+from repro.chaos.report import render_json, render_text
+from repro.chaos.runner import RunResult, run_schedule
+from repro.chaos.schedule import ChaosSchedule, FaultEntry, ScheduleGenerator
+from repro.harness.scenario import ChaosScenario
+from repro.simnet.random import RngStreams
+
+#: --smoke preset: seeds x schedules (>= 20 runs, the ISSUE gate).
+SMOKE_SEEDS = 5
+SMOKE_SCHEDULES = 4
+
+#: The self-test schedule: partition then heal.  With dual-primary
+#: resolution sabotaged this is the minimal split-brain recipe.
+SELF_TEST_ENTRIES = [
+    FaultEntry(2_000.0, "partition", {"side_a": ["alpha"], "side_b": ["beta"]}),
+    FaultEntry(6_000.0, "heal-network", {}),
+    # Decoy noise the minimizer must discard to reach <= 3 faults.
+    FaultEntry(3_000.0, "message-duplication", {"link": "lan0", "probability": 0.1}),
+    FaultEntry(7_000.0, "message-duplication", {"link": "lan0", "probability": 0.0}),
+    FaultEntry(8_000.0, "app-crash", {"node": "beta", "process": "synthetic"}),
+]
+SELF_TEST_HORIZON = 20_000.0
+SELF_TEST_SABOTAGE = "disable-dual-primary-resolution"
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="oftt-chaos",
+        description=(
+            "Randomized fault campaigns: seeded schedules against the OFTT pair "
+            "with live invariant monitors and failing-schedule minimization."
+        ),
+    )
+    parser.add_argument("--seeds", type=int, default=SMOKE_SEEDS,
+                        help=f"number of seeds to campaign over (default: {SMOKE_SEEDS})")
+    parser.add_argument("--schedules", type=int, default=SMOKE_SCHEDULES,
+                        help=f"schedules generated per seed (default: {SMOKE_SCHEDULES})")
+    parser.add_argument("--seed-base", type=int, default=0,
+                        help="first seed value (default: 0)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="run the verification-gate preset "
+                             f"({SMOKE_SEEDS} seeds x {SMOKE_SCHEDULES} schedules)")
+    parser.add_argument("--self-test", action="store_true",
+                        help="sabotage dual-primary resolution and verify the split-brain "
+                             "monitor catches it (expected exit code: 1)")
+    parser.add_argument("--max-minimize-runs", type=int, default=64,
+                        help="ddmin re-run budget for minimization (default: 64)")
+    parser.add_argument("--format", choices=("text", "json"), default="text",
+                        help="report format (default: text)")
+    parser.add_argument("--json", action="store_const", const="json", dest="format",
+                        help="shorthand for --format json")
+    parser.add_argument("--out", default="",
+                        help="also write the report to this file")
+    return parser
+
+
+def campaign(
+    seeds: int,
+    schedules: int,
+    seed_base: int,
+    sabotage_name: str = "",
+) -> List[RunResult]:
+    """Generate and execute ``seeds x schedules`` runs, in order."""
+    results: List[RunResult] = []
+    for seed in range(seed_base, seed_base + seeds):
+        generator = ScheduleGenerator(
+            nodes=list(ChaosScenario.PAIR_NODES),
+            links=["lan0"],
+            process=ChaosScenario.APP_NAME,
+            rng=RngStreams(seed).stream("chaos.schedule"),
+        )
+        for _ in range(schedules):
+            schedule = generator.generate()
+            results.append(run_schedule(seed, schedule, sabotage_name=sabotage_name))
+    return results
+
+
+def self_test() -> Tuple[List[RunResult], Optional[MinimizationResult]]:
+    """The monitor self-check: broken recovery must be caught and shrunk."""
+    schedule = ChaosSchedule(entries=list(SELF_TEST_ENTRIES), horizon=SELF_TEST_HORIZON)
+    result = run_schedule(0, schedule, sabotage_name=SELF_TEST_SABOTAGE)
+    minimization: Optional[MinimizationResult] = None
+    if not result.passed:
+        minimization = minimize_schedule(
+            0, schedule, result.violation_names()[0], sabotage_name=SELF_TEST_SABOTAGE
+        )
+    return [result], minimization
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    options = parser.parse_args(argv)
+    if options.seeds < 1 or options.schedules < 1:
+        print("oftt-chaos: --seeds and --schedules must be positive", file=sys.stderr)
+        return 2
+
+    minimization: Optional[MinimizationResult] = None
+    if options.self_test:
+        results, minimization = self_test()
+        mode = "self-test"
+    else:
+        seeds = SMOKE_SEEDS if options.smoke else options.seeds
+        schedules = SMOKE_SCHEDULES if options.smoke else options.schedules
+        results = campaign(seeds, schedules, options.seed_base)
+        mode = "smoke" if options.smoke else "campaign"
+        first_failed = next((r for r in results if not r.passed), None)
+        if first_failed is not None:
+            minimization = minimize_schedule(
+                first_failed.seed,
+                first_failed.schedule,
+                first_failed.violation_names()[0],
+                max_runs=options.max_minimize_runs,
+            )
+
+    if options.format == "json":
+        rendered = render_json(results, minimization, mode=mode)
+        sys.stdout.write(rendered)
+    else:
+        rendered = render_text(results, minimization) + "\n"
+        sys.stdout.write(rendered)
+    if options.out:
+        with open(options.out, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+
+    return 0 if all(result.passed for result in results) else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

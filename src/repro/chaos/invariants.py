@@ -1,0 +1,322 @@
+"""Live invariant monitors for chaos runs.
+
+Each monitor watches one safety/liveness property of the OFTT pair while
+a fault schedule plays out and records :class:`Violation` entries when
+the property is broken.  Monitors are *grace-window aware*: transient
+states that the protocol is designed to pass through (dual primary
+immediately after a partition heals, unavailability during a failover)
+only become violations when they persist longer than the protocol's own
+recovery machinery should take.
+
+The suite is polled by the runner every ``tick_period`` simulated ms and
+additionally subscribes to engine checkpoint hooks
+(:attr:`OfttEngine.on_checkpoint_submit` / ``on_checkpoint_stored``), so
+sequence regressions are caught at the exact event, not at the next poll.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+from repro.core.engine import PEER
+from repro.core.roles import Role
+from repro.msq.manager import DEAD_LETTER_QUEUE
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One observed invariant breach."""
+
+    invariant: str
+    time: float
+    detail: Dict[str, Any] = field(default_factory=dict)
+
+    def as_wire(self) -> Dict[str, Any]:
+        """JSON-safe canonical form."""
+        return {
+            "invariant": self.invariant,
+            "time": round(self.time, 3),
+            "detail": {k: self.detail[k] for k in sorted(self.detail)},
+        }
+
+
+class InvariantMonitor:
+    """Base monitor: runner calls :meth:`on_tick` and :meth:`finalize`."""
+
+    name = "invariant"
+
+    def __init__(self) -> None:
+        self.violations: List[Violation] = []
+
+    def attach(self, scenario: Any) -> None:
+        """Called once before the run starts."""
+
+    def on_engine(self, engine: Any) -> None:
+        """Called for every engine instance seen (including reinstalls)."""
+
+    def on_tick(self, scenario: Any, now: float) -> None:
+        """Called every monitor tick."""
+
+    def finalize(self, scenario: Any, now: float) -> None:
+        """Called once when the horizon is reached."""
+
+    def _violate(self, time: float, **detail: Any) -> None:
+        self.violations.append(Violation(invariant=self.name, time=time, detail=detail))
+
+
+def _connected_both_ways(scenario: Any) -> bool:
+    a, b = scenario.pair.node_names
+    network = scenario.network
+    return network.path_ok(a, b) and network.path_ok(b, a)
+
+
+class SplitBrainMonitor(InvariantMonitor):
+    """Exactly one active primary whenever the pair can talk.
+
+    Dual primary under a (full or asymmetric) partition is *legitimate*:
+    the backup must promote on peer loss or availability dies with the
+    partition.  The safety property is that once connectivity exists in
+    both directions, the incarnation tie-break demotes one side within a
+    grace window.  Persisting past the window — or both copies executing
+    the application — is split-brain.
+    """
+
+    name = "split-brain"
+
+    def __init__(self, grace: float = 2_000.0) -> None:
+        super().__init__()
+        self.grace = grace
+        self._since: float = -1.0
+        self._reported = False
+
+    def on_tick(self, scenario: Any, now: float) -> None:
+        pair = scenario.pair
+        primaries = [
+            name
+            for name in pair.node_names
+            if pair.engines[name].alive and pair.engines[name].role is Role.PRIMARY
+        ]
+        dual = len(primaries) > 1 and _connected_both_ways(scenario)
+        if not dual:
+            self._since = -1.0
+            self._reported = False
+            return
+        if self._since < 0:
+            self._since = now
+            return
+        if not self._reported and now - self._since > self.grace:
+            self._reported = True
+            running = pair.running_app_nodes()
+            self._violate(
+                now,
+                primaries=sorted(primaries),
+                running_apps=sorted(running),
+                held_for=round(now - self._since, 3),
+            )
+
+
+class CheckpointMonotonicityMonitor(InvariantMonitor):
+    """Checkpoint sequences never regress, across takeovers included.
+
+    Two concrete checks, fed by the engine hooks:
+
+    * per engine instance, *submitted* sequences strictly increase (the
+      FTIM must resume numbering above anything already stored, even
+      after local restarts);
+    * per engine instance and application, *stored* peer checkpoint
+      sequences strictly increase (stale or replayed transfers must
+      never overwrite newer mirrored state).
+    """
+
+    name = "checkpoint-monotonicity"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._submitted: Dict[int, Dict[str, int]] = {}  # id(engine) -> app -> last seq
+        self._stored: Dict[int, Dict[str, int]] = {}
+
+    def on_engine(self, engine: Any) -> None:
+        self._submitted.setdefault(id(engine), {})
+        self._stored.setdefault(id(engine), {})
+
+        def on_submit(eng: Any, checkpoint: Any) -> None:
+            last = self._submitted[id(eng)].get(checkpoint.app_name, 0)
+            if checkpoint.sequence <= last:
+                self._violate(
+                    eng.kernel.now,
+                    node=eng.node_name,
+                    app=checkpoint.app_name,
+                    kind="submit",
+                    sequence=checkpoint.sequence,
+                    previous=last,
+                )
+            self._submitted[id(eng)][checkpoint.app_name] = checkpoint.sequence
+
+        def on_stored(eng: Any, checkpoint: Any) -> None:
+            last = self._stored[id(eng)].get(checkpoint.app_name, 0)
+            if checkpoint.sequence <= last:
+                self._violate(
+                    eng.kernel.now,
+                    node=eng.node_name,
+                    app=checkpoint.app_name,
+                    kind="stored",
+                    sequence=checkpoint.sequence,
+                    previous=last,
+                )
+            self._stored[id(eng)][checkpoint.app_name] = checkpoint.sequence
+
+        engine.on_checkpoint_submit.append(on_submit)
+        engine.on_checkpoint_stored.append(on_stored)
+
+
+class DiverterConservationMonitor(InvariantMonitor):
+    """The diverter transport never loses a message silently.
+
+    Conservation over the client queue manager's counters: every message
+    ever sent is locally delivered, acknowledged by a pair node, parked
+    in the dead-letter queue (visible loss), or still pending retry —
+    checked live every tick.  At finalize the dead-letter queue length
+    must equal the dead-letter counter (no invisible drops on that path
+    either).
+    """
+
+    name = "diverter-conservation"
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._reported = False
+
+    def _imbalance(self, qmgr: Any) -> int:
+        stats = qmgr.stats
+        accounted = stats["delivered_local"] + stats["acked"] + stats["dead_lettered"] + qmgr.pending_count()
+        return stats["sent"] - accounted
+
+    def on_tick(self, scenario: Any, now: float) -> None:
+        if self._reported:
+            return
+        imbalance = self._imbalance(scenario.client_qmgr)
+        if imbalance != 0:
+            self._reported = True
+            self._violate(now, imbalance=imbalance, stats=dict(scenario.client_qmgr.stats))
+
+    def finalize(self, scenario: Any, now: float) -> None:
+        qmgr = scenario.client_qmgr
+        imbalance = self._imbalance(qmgr)
+        if imbalance != 0 and not self._reported:
+            self._violate(now, imbalance=imbalance, stats=dict(qmgr.stats))
+        dlq_len = len(qmgr.queues[DEAD_LETTER_QUEUE])
+        if dlq_len != qmgr.stats["dead_lettered"]:
+            self._violate(now, dead_letter_queue=dlq_len, dead_lettered=qmgr.stats["dead_lettered"])
+
+
+class RecoveryLatencyMonitor(InvariantMonitor):
+    """Outages end within a bound while recovery is possible.
+
+    An outage is any period where no live engine holds PRIMARY with all
+    of its application copies executing — pure availability, so a dual
+    primary (split-brain's concern) does not count as an outage as long
+    as one of them serves.  The clock only advances while at least one
+    engine on a booted machine is alive — if both machines are down
+    there is nobody to recover, and the paper's middleware makes no
+    promise.  Exceeding ``bound`` of recoverable outage is a liveness
+    violation (one report per outage).
+    """
+
+    name = "recovery-latency"
+
+    def __init__(self, bound: float = 10_000.0) -> None:
+        super().__init__()
+        self.bound = bound
+        self._outage_accrued = 0.0
+        self._last_tick: float = -1.0
+        self._reported = False
+
+    def _stable(self, scenario: Any) -> bool:
+        pair = scenario.pair
+        for name in pair.node_names:
+            engine = pair.engines[name]
+            if (
+                engine.alive
+                and engine.role is Role.PRIMARY
+                and engine.applications
+                and all(app.running for app in engine.applications.values())
+            ):
+                return True
+        return False
+
+    def _recoverable(self, scenario: Any) -> bool:
+        pair = scenario.pair
+        return any(pair.engines[name].alive for name in pair.node_names)
+
+    def on_tick(self, scenario: Any, now: float) -> None:
+        elapsed = now - self._last_tick if self._last_tick >= 0 else 0.0
+        self._last_tick = now
+        if self._stable(scenario):
+            self._outage_accrued = 0.0
+            self._reported = False
+            return
+        if self._recoverable(scenario):
+            self._outage_accrued += elapsed
+        if not self._reported and self._outage_accrued > self.bound:
+            self._reported = True
+            pair = scenario.pair
+            self._violate(
+                now,
+                outage=round(self._outage_accrued, 3),
+                roles={name: pair.engines[name].role.value for name in pair.node_names},
+                alive={name: pair.engines[name].alive for name in pair.node_names},
+            )
+
+    def finalize(self, scenario: Any, now: float) -> None:
+        if not self._stable(scenario) and self._recoverable(scenario) and not self._reported:
+            if self._outage_accrued > self.bound:
+                self._violate(now, outage=round(self._outage_accrued, 3), at_horizon=True)
+
+
+class HeartbeatLivenessMonitor(InvariantMonitor):
+    """Healthy connectivity clears peer suspicion within a grace window.
+
+    If both engines are alive and the network has been bidirectionally
+    healthy for longer than ``grace``, neither engine may still suspect
+    its peer's heartbeat — a stuck suspicion means the detector lost
+    liveness (it would never trigger switchback/rejoin logic).
+    """
+
+    name = "heartbeat-liveness"
+
+    def __init__(self, grace: float = 3_000.0) -> None:
+        super().__init__()
+        self.grace = grace
+        self._healthy_since: float = -1.0
+        self._reported = False
+
+    def on_tick(self, scenario: Any, now: float) -> None:
+        pair = scenario.pair
+        both_alive = all(pair.engines[name].alive for name in pair.node_names)
+        if not (both_alive and _connected_both_ways(scenario)):
+            self._healthy_since = -1.0
+            self._reported = False
+            return
+        if self._healthy_since < 0:
+            self._healthy_since = now
+            return
+        if self._reported or now - self._healthy_since <= self.grace:
+            return
+        suspicious = [
+            name for name in pair.node_names if pair.engines[name].monitor.is_suspected(PEER)
+        ]
+        if suspicious:
+            self._reported = True
+            self._violate(now, nodes=sorted(suspicious), healthy_for=round(now - self._healthy_since, 3))
+
+
+def default_monitors() -> List[InvariantMonitor]:
+    """The standard monitor suite (fresh instances)."""
+    return [
+        SplitBrainMonitor(),
+        CheckpointMonotonicityMonitor(),
+        DiverterConservationMonitor(),
+        RecoveryLatencyMonitor(),
+        HeartbeatLivenessMonitor(),
+    ]

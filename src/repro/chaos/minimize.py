@@ -1,0 +1,155 @@
+"""Failing-schedule minimization (delta debugging).
+
+Given a schedule whose run violated an invariant, :func:`minimize_schedule`
+re-runs deterministic subsets of its entries (classic ddmin: split into
+chunks, try each chunk and each complement, double granularity when
+nothing smaller reproduces) until it finds a locally minimal fault
+sequence that still triggers the same invariant.  Because every re-run
+uses the same seed and a fresh scenario, reproduction is exact — there
+is no flaky-bisect problem.
+
+Results are cached by entry-index subset so the quadratic tail of ddmin
+never re-executes an already-tested configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.chaos.runner import run_schedule
+from repro.chaos.schedule import ChaosSchedule
+
+
+@dataclass
+class MinimizationResult:
+    """Outcome of a ddmin pass."""
+
+    #: The minimal schedule still reproducing the violation.
+    schedule: ChaosSchedule
+    #: Invariant the minimization targeted.
+    invariant: str
+    #: Entry count before / after.
+    original_size: int
+    minimal_size: int
+    #: Schedule executions spent (cache hits excluded).
+    runs_used: int
+    #: Whether the target violation reproduced on the full schedule at all.
+    reproduced: bool
+    #: Index subset (into the original entry list) that survived.
+    kept_indices: List[int] = field(default_factory=list)
+
+    def as_wire(self) -> Dict:
+        """JSON-safe canonical form."""
+        return {
+            "invariant": self.invariant,
+            "original_size": self.original_size,
+            "minimal_size": self.minimal_size,
+            "runs_used": self.runs_used,
+            "reproduced": self.reproduced,
+            "kept_indices": list(self.kept_indices),
+            "schedule": self.schedule.as_wire(),
+        }
+
+
+class _SubsetTester:
+    """Runs index subsets of one schedule, with memoization."""
+
+    def __init__(self, seed: int, schedule: ChaosSchedule, invariant: str, sabotage_name: str) -> None:
+        self.seed = seed
+        self.schedule = schedule
+        self.invariant = invariant
+        self.sabotage_name = sabotage_name
+        self.runs_used = 0
+        self._cache: Dict[Tuple[int, ...], bool] = {}
+
+    def fails(self, indices: List[int]) -> bool:
+        """Whether the subset at *indices* still triggers the invariant."""
+        key = tuple(sorted(indices))
+        if key in self._cache:
+            return self._cache[key]
+        self.runs_used += 1
+        result = run_schedule(self.seed, self.schedule.subset(list(key)), sabotage_name=self.sabotage_name)
+        failed = self.invariant in result.violation_names()
+        self._cache[key] = failed
+        return failed
+
+
+def minimize_schedule(
+    seed: int,
+    schedule: ChaosSchedule,
+    invariant: str,
+    sabotage_name: str = "",
+    max_runs: int = 64,
+) -> MinimizationResult:
+    """ddmin over *schedule*'s entries targeting *invariant*.
+
+    ``max_runs`` bounds the schedule executions (minimization is an
+    aid, not a proof; the bound keeps worst-case CLI latency sane).  The
+    returned schedule is 1-minimal w.r.t. the subsets actually tested.
+    """
+    tester = _SubsetTester(seed, schedule, invariant, sabotage_name)
+    everything = list(range(len(schedule.entries)))
+    if not everything or not tester.fails(everything):
+        return MinimizationResult(
+            schedule=schedule,
+            invariant=invariant,
+            original_size=len(schedule.entries),
+            minimal_size=len(schedule.entries),
+            runs_used=tester.runs_used,
+            reproduced=False,
+            kept_indices=everything,
+        )
+
+    current = everything
+    granularity = 2
+    while len(current) >= 2 and tester.runs_used < max_runs:
+        chunks = _split(current, granularity)
+        reduced = False
+        # Try each chunk alone (big jumps first), then each complement.
+        for chunk in chunks:
+            if tester.runs_used >= max_runs:
+                break
+            if len(chunk) < len(current) and tester.fails(chunk):
+                current = chunk
+                granularity = 2
+                reduced = True
+                break
+        if not reduced:
+            for chunk in chunks:
+                if tester.runs_used >= max_runs:
+                    break
+                complement = [i for i in current if i not in chunk]
+                if complement and len(complement) < len(current) and tester.fails(complement):
+                    current = complement
+                    granularity = max(granularity - 1, 2)
+                    reduced = True
+                    break
+        if not reduced:
+            if granularity >= len(current):
+                break
+            granularity = min(len(current), granularity * 2)
+
+    kept = sorted(current)
+    return MinimizationResult(
+        schedule=schedule.subset(kept),
+        invariant=invariant,
+        original_size=len(schedule.entries),
+        minimal_size=len(kept),
+        runs_used=tester.runs_used,
+        reproduced=True,
+        kept_indices=kept,
+    )
+
+
+def _split(indices: List[int], parts: int) -> List[List[int]]:
+    """Split *indices* into *parts* contiguous chunks (no empties)."""
+    parts = min(parts, len(indices))
+    size, remainder = divmod(len(indices), parts)
+    chunks: List[List[int]] = []
+    start = 0
+    for part in range(parts):
+        end = start + size + (1 if part < remainder else 0)
+        chunks.append(indices[start:end])
+        start = end
+    return chunks

@@ -1,0 +1,86 @@
+"""Chaos-campaign reporters: human text and machine JSON.
+
+Mirrors :mod:`repro.replay.report`: the JSON schema (``repro.chaos/v1``)
+is a stability contract — extend it by adding keys, never by renaming or
+removing them.  The document contains no wall-clock timestamps and every
+float is rounded at source, so two same-seed campaigns serialize to
+byte-identical JSON (asserted by a replay subject and a test).
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Dict, List, Optional, Sequence
+
+from repro.chaos.minimize import MinimizationResult
+from repro.chaos.runner import RunResult
+
+JSON_SCHEMA = "repro.chaos/v1"
+
+
+def summarize(results: Sequence[RunResult]) -> Dict[str, int]:
+    """Aggregate counts (always the same key set)."""
+    violations = sum(len(result.violations) for result in results)
+    return {
+        "runs": len(results),
+        "passed": sum(1 for result in results if result.passed),
+        "failed": sum(1 for result in results if not result.passed),
+        "violations": violations,
+        "faults_injected": sum(len(result.schedule.entries) for result in results),
+    }
+
+
+def render_json(
+    results: Sequence[RunResult],
+    minimization: Optional[MinimizationResult] = None,
+    mode: str = "campaign",
+) -> str:
+    """Stable JSON document (sorted keys, newline-terminated)."""
+    document = {
+        "schema": JSON_SCHEMA,
+        "mode": mode,
+        "summary": summarize(results),
+        "runs": [result.as_wire() for result in results],
+        "minimization": minimization.as_wire() if minimization is not None else None,
+    }
+    return json.dumps(document, indent=2, sort_keys=True) + "\n"
+
+
+def _render_run(result: RunResult) -> List[str]:
+    status = "ok" if result.passed else "VIOLATED"
+    label = f"seed {result.seed}, {len(result.schedule.entries)} fault(s), horizon {result.schedule.horizon:.0f}ms"
+    if result.sabotage:
+        label += f", sabotage={result.sabotage}"
+    lines = [f"[{status}] {label}"]
+    for entry in result.schedule.sorted_entries():
+        lines.append(f"    @{entry.at:>9.1f}  {entry.kind} {entry.params}")
+    for violation in result.violations:
+        lines.append(f"  !! {violation.invariant} at {violation.time:.1f}ms: {violation.detail}")
+    return lines
+
+
+def render_text(
+    results: Sequence[RunResult],
+    minimization: Optional[MinimizationResult] = None,
+) -> str:
+    """One block per run, failing schedules expanded, summary trailer."""
+    lines: List[str] = []
+    for result in results:
+        if result.passed:
+            lines.append(_render_run(result)[0])
+        else:
+            lines.extend(_render_run(result))
+    if minimization is not None:
+        lines.append(
+            f"minimized '{minimization.invariant}' reproducer: "
+            f"{minimization.original_size} -> {minimization.minimal_size} fault(s) "
+            f"in {minimization.runs_used} run(s)"
+        )
+        for entry in minimization.schedule.sorted_entries():
+            lines.append(f"    @{entry.at:>9.1f}  {entry.kind} {entry.params}")
+    counts = summarize(results)
+    lines.append(
+        f"{counts['runs']} run(s): {counts['passed']} ok, {counts['failed']} violated "
+        f"({counts['violations']} violation(s), {counts['faults_injected']} fault(s) injected)"
+    )
+    return "\n".join(lines)

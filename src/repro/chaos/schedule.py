@@ -1,0 +1,261 @@
+"""Fault schedules: the unit of chaos a run executes and the minimizer shrinks.
+
+A schedule is a seedable, serializable list of :class:`FaultEntry`
+records — ``(at, kind, params)`` — rather than live
+:class:`~repro.faults.faultlib.Fault` objects, so the same schedule can
+be re-materialized against a fresh scenario for deterministic re-runs
+(delta debugging) and round-tripped through the ``repro.chaos/v1``
+report.
+
+:class:`ScheduleGenerator` samples schedules from the fault catalogue:
+every destructive entry is paired with its repair (reboot, heal, reset)
+a bounded delay later, so a full schedule always returns the testbed to
+a recoverable configuration — any invariant still violated after that is
+a real finding, not an artifact of never repairing anything.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List
+
+from repro.errors import FaultInjectionError
+from repro.faults import faultlib
+
+#: kind -> builder(params) -> Fault.  Params are JSON-safe dicts.
+FAULT_BUILDERS: Dict[str, Callable[[Dict[str, Any]], faultlib.Fault]] = {
+    "node-failure": lambda p: faultlib.NodeFailure(p["node"]),
+    "bluescreen": lambda p: faultlib.BlueScreen(p["node"]),
+    "app-crash": lambda p: faultlib.AppCrash(p["node"], p["process"]),
+    "app-hang": lambda p: faultlib.AppHang(p["node"], p["process"]),
+    "middleware-crash": lambda p: faultlib.MiddlewareCrash(p["node"]),
+    "node-reboot": lambda p: faultlib.NodeReboot(p["node"]),
+    "reinstall-middleware": lambda p: faultlib.ReinstallMiddleware(p["node"]),
+    "partition": lambda p: faultlib.NetworkPartition(p["side_a"], p["side_b"]),
+    "asym-partition": lambda p: faultlib.AsymmetricPartition(p["sources"], p["dests"]),
+    "heal-network": lambda p: faultlib.HealNetwork(),
+    "link-down": lambda p: faultlib.LinkDown(p["link"]),
+    "message-corruption": lambda p: faultlib.MessageCorruption(p["link"], p["probability"]),
+    "message-duplication": lambda p: faultlib.MessageDuplication(p["link"], p["probability"]),
+    "gray-node": lambda p: faultlib.GrayNode(p["node"], p["delay"]),
+    "clock-skew": lambda p: faultlib.ClockSkew(p["node"], p["scale"]),
+    "crash-during-checkpoint": lambda p: faultlib.CrashDuringCheckpoint(p["node"]),
+}
+
+
+@dataclass(frozen=True)
+class FaultEntry:
+    """One scheduled injection: *kind* with *params*, applied at *at* ms."""
+
+    at: float
+    kind: str
+    params: Dict[str, Any] = field(default_factory=dict)
+
+    def build(self) -> faultlib.Fault:
+        """Materialize the live fault object for this entry."""
+        builder = FAULT_BUILDERS.get(self.kind)
+        if builder is None:
+            raise FaultInjectionError(f"unknown fault kind {self.kind!r}")
+        return builder(self.params)
+
+    def as_wire(self) -> Dict[str, Any]:
+        """JSON-safe canonical form."""
+        return {"at": round(self.at, 3), "kind": self.kind, "params": dict(sorted(self.params.items()))}
+
+    @staticmethod
+    def from_wire(data: Dict[str, Any]) -> "FaultEntry":
+        """Inverse of :meth:`as_wire`."""
+        return FaultEntry(at=float(data["at"]), kind=str(data["kind"]), params=dict(data.get("params", {})))
+
+
+@dataclass
+class ChaosSchedule:
+    """An ordered fault sequence plus the horizon it plays out in."""
+
+    entries: List[FaultEntry]
+    horizon: float = 40_000.0
+
+    def sorted_entries(self) -> List[FaultEntry]:
+        """Entries in injection order (time, then kind for stable ties)."""
+        return sorted(self.entries, key=lambda e: (e.at, e.kind))
+
+    def subset(self, keep: List[int]) -> "ChaosSchedule":
+        """Schedule containing only the entries at indices *keep*."""
+        index_set = set(keep)
+        return ChaosSchedule(
+            entries=[e for i, e in enumerate(self.entries) if i in index_set],
+            horizon=self.horizon,
+        )
+
+    def as_wire(self) -> Dict[str, Any]:
+        """JSON-safe canonical form."""
+        return {
+            "horizon": round(self.horizon, 3),
+            "entries": [entry.as_wire() for entry in self.sorted_entries()],
+        }
+
+    @staticmethod
+    def from_wire(data: Dict[str, Any]) -> "ChaosSchedule":
+        """Inverse of :meth:`as_wire`."""
+        return ChaosSchedule(
+            entries=[FaultEntry.from_wire(e) for e in data.get("entries", [])],
+            horizon=float(data.get("horizon", 40_000.0)),
+        )
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+
+#: Fault templates the generator samples from, with relative weights.
+#: Each template emits the destructive entry plus (optionally) its
+#: paired repair entry; ``node`` iterates over the pair nodes and
+#: ``link`` over the LAN segments of the target scenario.
+_TEMPLATES: List[Any] = [
+    # (weight, name) — dispatch happens in _emit below.
+    (3, "app-crash"),
+    (2, "app-hang"),
+    (2, "middleware-crash"),
+    (2, "bluescreen"),
+    (2, "node-failure"),
+    (2, "partition"),
+    (2, "asym-partition"),
+    (2, "message-corruption"),
+    (2, "message-duplication"),
+    (2, "gray-node"),
+    (1, "clock-skew"),
+    (1, "crash-during-checkpoint"),
+]
+
+
+class ScheduleGenerator:
+    """Samples randomized fault schedules for one testbed topology.
+
+    All randomness comes from the seeded ``random.Random`` passed in, so
+    (seed, index) fully determines each schedule.  Burst behaviour: with
+    probability ``burst_prob`` the next fault lands within ``burst_gap``
+    of the previous one (correlated failures); otherwise injection times
+    are independent uniform draws over the fault window.
+    """
+
+    def __init__(
+        self,
+        nodes: List[str],
+        links: List[str],
+        process: str,
+        rng: random.Random,
+        window: float = 18_000.0,
+        window_start: float = 2_000.0,
+        repair_delay: float = 4_000.0,
+        burst_prob: float = 0.3,
+        burst_gap: float = 500.0,
+        min_faults: int = 2,
+        max_faults: int = 4,
+    ) -> None:
+        self.nodes = list(nodes)
+        self.links = list(links)
+        self.process = process
+        self.rng = rng
+        self.window = window
+        self.window_start = window_start
+        self.repair_delay = repair_delay
+        self.burst_prob = burst_prob
+        self.burst_gap = burst_gap
+        self.min_faults = min_faults
+        self.max_faults = max_faults
+
+    def generate(self) -> ChaosSchedule:
+        """Sample one schedule (advances the RNG)."""
+        count = self.rng.randint(self.min_faults, self.max_faults)
+        entries: List[FaultEntry] = []
+        previous_at = self.window_start
+        for _ in range(count):
+            if entries and self.rng.random() < self.burst_prob:
+                at = min(previous_at + self.rng.uniform(0.0, self.burst_gap), self.window_start + self.window)
+            else:
+                at = self.rng.uniform(self.window_start, self.window_start + self.window)
+            at = round(at, 1)
+            previous_at = at
+            entries.extend(self._emit(at))
+        # Settle budget: repairs land at most repair_delay after the last
+        # fault; leave a recovery tail beyond that before the horizon.
+        last = max(entry.at for entry in entries)
+        horizon = round(last + self.repair_delay + 12_000.0, 1)
+        return ChaosSchedule(entries=entries, horizon=horizon)
+
+    # -- template emission -------------------------------------------------------
+
+    def _emit(self, at: float) -> List[FaultEntry]:
+        total = sum(weight for weight, _ in _TEMPLATES)
+        pick = self.rng.uniform(0.0, total)
+        cumulative = 0.0
+        name = _TEMPLATES[-1][1]
+        for weight, template in _TEMPLATES:
+            cumulative += weight
+            if pick <= cumulative:
+                name = template
+                break
+        node = self.rng.choice(self.nodes)
+        link = self.rng.choice(self.links)
+        repair_at = round(at + self.rng.uniform(self.repair_delay / 2.0, self.repair_delay), 1)
+        if name == "app-crash":
+            return [FaultEntry(at, "app-crash", {"node": node, "process": self.process})]
+        if name == "app-hang":
+            return [FaultEntry(at, "app-hang", {"node": node, "process": self.process})]
+        if name == "middleware-crash":
+            return [
+                FaultEntry(at, "middleware-crash", {"node": node}),
+                FaultEntry(repair_at, "reinstall-middleware", {"node": node}),
+            ]
+        if name == "bluescreen":
+            return [
+                FaultEntry(at, "bluescreen", {"node": node}),
+                FaultEntry(repair_at, "node-reboot", {"node": node}),
+            ]
+        if name == "node-failure":
+            return [
+                FaultEntry(at, "node-failure", {"node": node}),
+                FaultEntry(repair_at, "node-reboot", {"node": node}),
+            ]
+        if name == "partition":
+            side_a, side_b = [self.nodes[0]], [self.nodes[1]]
+            return [
+                FaultEntry(at, "partition", {"side_a": side_a, "side_b": side_b}),
+                FaultEntry(repair_at, "heal-network", {}),
+            ]
+        if name == "asym-partition":
+            source, dest = (self.nodes[0], self.nodes[1]) if self.rng.random() < 0.5 else (self.nodes[1], self.nodes[0])
+            return [
+                FaultEntry(at, "asym-partition", {"sources": [source], "dests": [dest]}),
+                FaultEntry(repair_at, "heal-network", {}),
+            ]
+        if name == "message-corruption":
+            probability = round(self.rng.uniform(0.05, 0.3), 3)
+            return [
+                FaultEntry(at, "message-corruption", {"link": link, "probability": probability}),
+                FaultEntry(repair_at, "message-corruption", {"link": link, "probability": 0.0}),
+            ]
+        if name == "message-duplication":
+            probability = round(self.rng.uniform(0.05, 0.3), 3)
+            return [
+                FaultEntry(at, "message-duplication", {"link": link, "probability": probability}),
+                FaultEntry(repair_at, "message-duplication", {"link": link, "probability": 0.0}),
+            ]
+        if name == "gray-node":
+            delay = round(self.rng.uniform(50.0, 350.0), 1)
+            return [
+                FaultEntry(at, "gray-node", {"node": node, "delay": delay}),
+                FaultEntry(repair_at, "gray-node", {"node": node, "delay": 0.0}),
+            ]
+        if name == "clock-skew":
+            scale = round(self.rng.uniform(1.1, 1.5), 3)
+            return [
+                FaultEntry(at, "clock-skew", {"node": node, "scale": scale}),
+                FaultEntry(repair_at, "clock-skew", {"node": node, "scale": 1.0}),
+            ]
+        if name == "crash-during-checkpoint":
+            return [
+                FaultEntry(at, "crash-during-checkpoint", {"node": node}),
+                FaultEntry(repair_at, "node-reboot", {"node": node}),
+            ]
+        raise FaultInjectionError(f"unknown template {name!r}")

@@ -73,7 +73,15 @@ class OfttPair:
             raise OfttError(f"node {name} must be booted before pair assembly")
         peer = self.node_names[1] if name == self.node_names[0] else self.node_names[0]
         runtime = ComRuntime(system, self.network)
-        qmgr = QueueManager(self.kernel, self.network, system.node)
+        qmgr = QueueManager(
+            self.kernel,
+            self.network,
+            system.node,
+            retry_interval=self.config.msq_retry_interval,
+            backoff_factor=self.config.msq_retry_backoff,
+            max_retry_interval=self.config.msq_retry_max_interval,
+            retry_jitter=self.config.msq_retry_jitter,
+        )
         qmgr.attach_to_system(system)
         context = NodeContext(
             system=system,

@@ -72,6 +72,10 @@ class OfttConfig:
     # Failure detection (§2.2.1: heartbeats with a pre-specified timeout).
     heartbeat_period: float = 100.0
     heartbeat_timeout: float = 500.0
+    #: Consecutive sweeps past the timeout before a component (or the
+    #: peer) is declared failed.  1 = the paper's behaviour; higher
+    #: values desensitise the detector (see repro.core.heartbeat).
+    heartbeat_miss_threshold: int = 1
     #: Also catch component death via OS process-exit hooks (faster than
     #: the heartbeat timeout; disable to measure pure heartbeat latency).
     use_exit_hooks: bool = True
@@ -95,6 +99,17 @@ class OfttConfig:
     # Status reporting (§2.2.1 / §2.2.4).
     status_report_period: float = 1_000.0
 
+    # MSMQ store-and-forward retry (§2.2.3 diverter redelivery).  The
+    # retry interval after attempt *n* is
+    # ``min(msq_retry_interval * msq_retry_backoff**(n-1), msq_retry_max_interval)``
+    # plus uniform jitter in ``[0, msq_retry_jitter]`` drawn from the sim
+    # RNG (so replay determinism holds).  backoff=1.0 reproduces the old
+    # fixed cadence.
+    msq_retry_interval: float = 250.0
+    msq_retry_backoff: float = 2.0
+    msq_retry_max_interval: float = 2_000.0
+    msq_retry_jitter: float = 25.0
+
     # Recovery rules by component name; ``default_rule`` covers the rest.
     recovery_rules: Dict[str, RecoveryRule] = field(default_factory=dict)
     default_rule: RecoveryRule = field(default_factory=RecoveryRule)
@@ -111,8 +126,12 @@ class OfttConfig:
 
     def validate(self) -> None:
         """Sanity-check relationships between the tunables."""
+        if self.heartbeat_period <= 0:
+            raise ValueError("heartbeat_period must be positive")
         if self.heartbeat_timeout <= self.heartbeat_period:
             raise ValueError("heartbeat_timeout must exceed heartbeat_period")
+        if self.heartbeat_miss_threshold < 1:
+            raise ValueError("heartbeat_miss_threshold must be at least 1")
         if self.peer_heartbeat_timeout <= self.peer_heartbeat_period:
             raise ValueError("peer_heartbeat_timeout must exceed peer_heartbeat_period")
         if self.checkpoint_period <= 0:
@@ -121,6 +140,14 @@ class OfttConfig:
             raise ValueError("startup_retries must be non-negative")
         if self.checkpoint_history < 1:
             raise ValueError("checkpoint_history must be at least 1")
+        if self.msq_retry_interval <= 0:
+            raise ValueError("msq_retry_interval must be positive")
+        if self.msq_retry_backoff < 1.0:
+            raise ValueError("msq_retry_backoff must be at least 1.0")
+        if self.msq_retry_max_interval < self.msq_retry_interval:
+            raise ValueError("msq_retry_max_interval must be at least msq_retry_interval")
+        if self.msq_retry_jitter < 0:
+            raise ValueError("msq_retry_jitter must be non-negative")
 
 
 def replace_config(config: OfttConfig, **changes) -> OfttConfig:

@@ -108,7 +108,12 @@ class OfttEngine(ComObject):
             preferred_primary=preferred_primary,
             trace=self.trace,
         )
-        self.monitor = HeartbeatMonitor(self.kernel, self.config.heartbeat_period, self._on_heartbeat_failure)
+        self.monitor = HeartbeatMonitor(
+            self.kernel,
+            self.config.heartbeat_period,
+            self._on_heartbeat_failure,
+            miss_threshold=self.config.heartbeat_miss_threshold,
+        )
         self.recovery = RecoveryManager(self.kernel, self.config)
         #: Checkpoints of the *local* application (for local restart).
         self.local_store = CheckpointStore(self.config.checkpoint_history)
@@ -136,6 +141,12 @@ class OfttEngine(ComObject):
         #: Waiters for peer acknowledgement of a sequence (durable saves).
         self._ack_waiters: List = []  # (sequence, Event) pairs
         self._stats = {"heartbeats_rx": 0, "checkpoints_tx": 0, "checkpoints_rx": 0, "acks_rx": 0}
+        #: Observation hooks for invariant monitors and fault triggers
+        #: (repro.chaos): fired after a local checkpoint is submitted /
+        #: after a peer checkpoint is stored.  Callbacks must not mutate
+        #: engine state.
+        self.on_checkpoint_submit: List = []  # callbacks (engine, Checkpoint)
+        self.on_checkpoint_stored: List = []  # callbacks (engine, Checkpoint)
 
     # -- lifecycle ---------------------------------------------------------------
 
@@ -254,6 +265,8 @@ class OfttEngine(ComObject):
         self.local_store.store(checkpoint)
         self._stats["checkpoints_tx"] += 1
         self._send_to_peer({"kind": "ckpt", "data": checkpoint.as_wire()})
+        for callback in list(self.on_checkpoint_submit):
+            callback(self, checkpoint)
 
     def latest_local_image(self, app_name: str) -> Optional[Dict[str, Any]]:
         """Image for a local restart (None if never checkpointed)."""
@@ -397,11 +410,23 @@ class OfttEngine(ComObject):
         self._broadcast_role_change()
 
     def _start_application_as_primary(self) -> None:
+        if not self.alive:
+            # Negotiator timers (startup wait/retry) outlive the engine
+            # process; a decision landing after death must not launch.
+            return
         # Same registration-order contract as _stop_all_applications:
         # launch order matters for trace comparison, and __init__ fixed it.
         for name, app in self.applications.items():
             if app.running:
                 continue
+            # A predecessor engine's copy may have orphaned a process with
+            # this name (a hung app never fail-stops itself because its
+            # FTIM thread is suspended too).  The service restart reaps it
+            # before launching ours, like the NT service manager would.
+            stale = self.context.system.find_process(name)
+            if stale is not None and stale.alive and (app.process is None or stale is not app.process):
+                self.trace.emit("engine", self.node_name, "stale-process-reaped", target=name)
+                stale.kill(code=-4)
             image = self.latest_peer_image(name)
             if image is None:
                 # Maybe we were primary before and have local history.
@@ -414,6 +439,8 @@ class OfttEngine(ComObject):
             self.recovery.clear(name)
 
     def _on_role_decided(self, role: Role) -> None:
+        if not self.alive:
+            return
         if role is Role.PRIMARY:
             self._start_application_as_primary()
         self._broadcast_role_change()
@@ -436,6 +463,16 @@ class OfttEngine(ComObject):
             return
         self.context.system.node.send(self.peer_node, ENGINE_PORT, payload, size=128)
 
+    def scaled(self, period: float) -> float:
+        """*period* as measured by this machine's (possibly skewed) clock.
+
+        Periodic engine timers go through this so a ``ClockSkew`` fault
+        on the host stretches heartbeat/report cadence the way a drifting
+        hardware clock would.  Re-read every iteration, so skew injected
+        mid-run takes effect on the next tick.
+        """
+        return period * self.context.system.clock_scale
+
     def _peer_heartbeat_loop(self) -> None:
         if not self.alive:
             return
@@ -447,7 +484,7 @@ class OfttEngine(ComObject):
                 "incarnation": self.negotiator.incarnation,
             }
         )
-        self.kernel.schedule(self.config.peer_heartbeat_period, self._peer_heartbeat_loop)
+        self.kernel.schedule(self.scaled(self.config.peer_heartbeat_period), self._peer_heartbeat_loop)
 
     def _on_engine_message(self, message) -> None:
         if not self.alive:
@@ -498,6 +535,8 @@ class OfttEngine(ComObject):
         self._stats["checkpoints_rx"] += 1
         if stored:
             self._send_to_peer({"kind": "ckpt-ack", "app": checkpoint.app_name, "sequence": checkpoint.sequence})
+            for callback in list(self.on_checkpoint_stored):
+                callback(self, checkpoint)
 
     def _on_checkpoint_ack(self, payload: Dict[str, Any]) -> None:
         self._stats["acks_rx"] += 1
@@ -556,7 +595,7 @@ class OfttEngine(ComObject):
         # relearn the primary within one report period.
         if self.role is Role.PRIMARY:
             self._broadcast_role_change()
-        self.kernel.schedule(self.config.status_report_period, self._status_report_loop)
+        self.kernel.schedule(self.scaled(self.config.status_report_period), self._status_report_loop)
 
     def status_reports(self) -> List[StatusReport]:
         """Current status of everything this engine monitors."""

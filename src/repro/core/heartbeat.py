@@ -11,6 +11,15 @@ recovery provision" (§2.2.1).
 peer engine) register, somebody calls :meth:`beat` on every received
 heartbeat, and a periodic sweep declares anything silent past its timeout
 failed exactly once (until it beats again).
+
+Sensitivity is tunable via *miss_threshold*: a component is only declared
+failed after that many **consecutive** sweeps observe it past its
+timeout.  The default of 1 is the paper's behaviour (first sweep past the
+timeout fails the component); higher thresholds trade detection latency
+for robustness against gray nodes and delivery jitter.  Both knobs are
+surfaced through :class:`repro.core.config.OfttConfig`
+(``heartbeat_timeout`` / ``heartbeat_miss_threshold``) so detector
+sensitivity can be swept by chaos schedules.
 """
 
 from __future__ import annotations
@@ -33,15 +42,26 @@ class _Watch:
     suspected: bool = False
     beats_received: int = 0
     enabled: bool = True
+    #: Consecutive sweeps that found this component past its timeout.
+    misses: int = 0
 
 
 class HeartbeatMonitor:
     """Sweeps registered components for heartbeat silence."""
 
-    def __init__(self, kernel: SimKernel, sweep_period: float, on_failure: FailureCallback) -> None:
+    def __init__(
+        self,
+        kernel: SimKernel,
+        sweep_period: float,
+        on_failure: FailureCallback,
+        miss_threshold: int = 1,
+    ) -> None:
+        if miss_threshold < 1:
+            raise ValueError(f"miss_threshold must be at least 1, got {miss_threshold}")
         self.kernel = kernel
         self.sweep_period = sweep_period
         self.on_failure = on_failure
+        self.miss_threshold = miss_threshold
         self._watches: Dict[str, _Watch] = {}
         self._running = False
         self._timer = None
@@ -70,6 +90,7 @@ class HeartbeatMonitor:
             watch.enabled = True
             watch.last_beat = self.kernel.now
             watch.suspected = False
+            watch.misses = 0
 
     def watched(self) -> List[str]:
         """Names currently monitored, sorted."""
@@ -86,6 +107,7 @@ class HeartbeatMonitor:
         watch.last_beat = self.kernel.now
         watch.beats_received += 1
         watch.suspected = False
+        watch.misses = 0
 
     def silence(self, component: str) -> Optional[float]:
         """How long *component* has been silent (None if unknown)."""
@@ -124,8 +146,12 @@ class HeartbeatMonitor:
                 continue
             silence = now - watch.last_beat
             if silence > watch.timeout:
-                watch.suspected = True
-                self.on_failure(component, silence)
+                watch.misses += 1
+                if watch.misses >= self.miss_threshold:
+                    watch.suspected = True
+                    self.on_failure(component, silence)
+            else:
+                watch.misses = 0
         self._timer = self.kernel.schedule(self.sweep_period, self._sweep)
 
     def __repr__(self) -> str:

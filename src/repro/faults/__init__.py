@@ -15,15 +15,23 @@ and reboots) are scripted, schedulable and repeatable.
 from repro.faults.faultlib import (
     AppCrash,
     AppHang,
+    AsymmetricPartition,
     BlueScreen,
+    ClockSkew,
+    CrashDuringCheckpoint,
     Fault,
     FieldbusFailure,
+    GrayNode,
+    HealNetwork,
     LinkDown,
+    MessageCorruption,
+    MessageDuplication,
     MiddlewareCrash,
     NetworkPartition,
     NicDown,
     NodeFailure,
     NodeReboot,
+    ReinstallMiddleware,
     TransientAppCrash,
 )
 from repro.faults.injector import FaultInjector
@@ -32,17 +40,25 @@ from repro.faults.campaign import Campaign, InjectionRecord
 __all__ = [
     "AppCrash",
     "AppHang",
+    "AsymmetricPartition",
     "BlueScreen",
     "Campaign",
+    "ClockSkew",
+    "CrashDuringCheckpoint",
     "Fault",
     "FaultInjector",
     "FieldbusFailure",
+    "GrayNode",
+    "HealNetwork",
     "InjectionRecord",
     "LinkDown",
+    "MessageCorruption",
+    "MessageDuplication",
     "MiddlewareCrash",
     "NetworkPartition",
     "NicDown",
     "NodeFailure",
     "NodeReboot",
+    "ReinstallMiddleware",
     "TransientAppCrash",
 ]

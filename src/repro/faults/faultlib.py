@@ -208,6 +208,10 @@ class NodeReboot(Fault):
 
     def apply(self, env: Any) -> None:
         system = self._system(env, self.node)
+        if system.state is SystemState.BOOTING:
+            # Already power-cycling; a second reboot while the machine is
+            # coming up is a no-op (double-apply safety for campaigns).
+            return
         if system.state is SystemState.UP:
             system.power_off()
         system.reboot(extra_delay=self.extra_delay)
@@ -224,3 +228,194 @@ class NodeReboot(Fault):
 
     def describe(self) -> str:
         return f"reboot {self.node} (reinstall={self.reinstall})"
+
+
+class ReinstallMiddleware(Fault):
+    """Restart the OFTT stack on a node whose machine stayed up.
+
+    The repair action after :class:`MiddlewareCrash`: the NT service
+    manager relaunches the engine, which rejoins the pair.  No-op when
+    the machine is down (a reboot will reinstall via its boot hook) or
+    when the engine is already alive.
+    """
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+
+    def apply(self, env: Any) -> None:
+        pair = getattr(env, "pair", None)
+        if pair is None:
+            return
+        system = self._system(env, self.node)
+        if system.state is not SystemState.UP:
+            return
+        engine = pair.engines.get(self.node)
+        if engine is not None and engine.alive:
+            return
+        pair.reinstall_node(self.node)
+
+    def describe(self) -> str:
+        return f"reinstall OFTT middleware on {self.node}"
+
+
+class AsymmetricPartition(Fault):
+    """One-way connectivity loss: *sources* can no longer reach *dests*.
+
+    Unlike :class:`NetworkPartition` the reverse direction keeps working,
+    so A hears B's heartbeats while B declares A dead — the classic
+    asymmetric-partition split-brain recipe.
+    """
+
+    def __init__(self, sources: List[str], dests: List[str]) -> None:
+        self.sources = list(sources)
+        self.dests = list(dests)
+
+    def apply(self, env: Any) -> None:
+        for source in self.sources:
+            for dest in self.dests:
+                if source != dest:
+                    env.network.block_direction(source, dest)
+
+    def describe(self) -> str:
+        return f"asymmetric partition: {self.sources} -/-> {self.dests}"
+
+
+class HealNetwork(Fault):
+    """Repair action: heal all partitions and lift directional blocks.
+
+    Restores two-way reachability on every segment.  Link-quality
+    degradations (corruption, duplication, gray delay, clock skew) have
+    their own paired repair faults and are left alone.
+    """
+
+    def apply(self, env: Any) -> None:
+        env.partitions.heal_all()
+        env.network.clear_blocks()
+
+    def describe(self) -> str:
+        return "heal network (partitions + directional blocks)"
+
+
+class MessageCorruption(Fault):
+    """Frames on one segment fail their checksum with some probability.
+
+    Detected corruption: the receiver discards the frame, so the effect
+    is loss that MSMQ/DCOM retry layers must absorb.  Probability 0
+    repairs the link.
+    """
+
+    def __init__(self, link: str, probability: float) -> None:
+        if probability < 0.0 or probability > 1.0:
+            raise FaultInjectionError(f"corruption probability must be in [0, 1], got {probability}")
+        self.link = link
+        self.probability = probability
+
+    def apply(self, env: Any) -> None:
+        if self.link not in env.network.links:
+            raise FaultInjectionError(f"no such link {self.link}")
+        env.network.set_corruption(self.link, self.probability)
+
+    def describe(self) -> str:
+        return f"message corruption on {self.link} (p={self.probability})"
+
+
+class MessageDuplication(Fault):
+    """Frames on one segment are delivered twice with some probability.
+
+    Exercises receiver-side dedup (MSMQ seen-ids) and idempotency of
+    heartbeat/checkpoint handlers.  Probability 0 repairs the link.
+    """
+
+    def __init__(self, link: str, probability: float) -> None:
+        if probability < 0.0 or probability > 1.0:
+            raise FaultInjectionError(f"duplication probability must be in [0, 1], got {probability}")
+        self.link = link
+        self.probability = probability
+
+    def apply(self, env: Any) -> None:
+        if self.link not in env.network.links:
+            raise FaultInjectionError(f"no such link {self.link}")
+        env.network.set_duplication(self.link, self.probability)
+
+    def describe(self) -> str:
+        return f"message duplication on {self.link} (p={self.probability})"
+
+
+class GrayNode(Fault):
+    """Fail-slow host: every frame the node sends is delayed by *delay* ms.
+
+    The machine is up and its software runs, but its traffic straggles —
+    the gray-failure mode that trips naive timeout-based detectors.
+    Delay 0 repairs the node.
+    """
+
+    def __init__(self, node: str, delay: float) -> None:
+        if delay < 0.0:
+            raise FaultInjectionError(f"gray-node delay must be non-negative, got {delay}")
+        self.node = node
+        self.delay = delay
+
+    def apply(self, env: Any) -> None:
+        self._system(env, self.node)  # validate the node exists
+        env.network.set_egress_delay(self.node, self.delay)
+
+    def describe(self) -> str:
+        return f"gray node: {self.node} egress +{self.delay}ms"
+
+
+class ClockSkew(Fault):
+    """Stretch one node's OFTT timer periods by *scale*.
+
+    scale > 1 models a slow clock: heartbeats and status reports leave
+    the node late relative to the peer's (true-time) timeouts.  Scale 1
+    repairs the node.
+    """
+
+    def __init__(self, node: str, scale: float) -> None:
+        if scale <= 0.0:
+            raise FaultInjectionError(f"clock-skew scale must be positive, got {scale}")
+        self.node = node
+        self.scale = scale
+
+    def apply(self, env: Any) -> None:
+        system = self._system(env, self.node)
+        system.clock_scale = self.scale
+
+    def describe(self) -> str:
+        return f"clock skew on {self.node} (x{self.scale})"
+
+
+class CrashDuringCheckpoint(Fault):
+    """Bluescreen a node the instant its engine next submits a checkpoint.
+
+    Exercises the §2.2.2 recovery window: the checkpoint is on the wire
+    (or lost to a concurrent partition) when the primary dies, and the
+    backup must resume from whichever sequence number it last stored.
+    Arms a one-shot hook; re-applying while armed (or after the engine
+    died) is a no-op.
+    """
+
+    def __init__(self, node: str) -> None:
+        self.node = node
+        self._armed = False
+
+    def apply(self, env: Any) -> None:
+        pair = getattr(env, "pair", None)
+        if pair is None or self._armed:
+            return
+        engine = pair.engines.get(self.node)
+        if engine is None or not engine.alive:
+            return
+        system = self._system(env, self.node)
+        self._armed = True
+
+        def crash(eng, checkpoint) -> None:
+            if crash in engine.on_checkpoint_submit:
+                engine.on_checkpoint_submit.remove(crash)
+            if system.state is SystemState.UP:
+                system.bluescreen()
+
+        engine.on_checkpoint_submit.append(crash)
+
+    def describe(self) -> str:
+        return f"crash during checkpoint on {self.node}"

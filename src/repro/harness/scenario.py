@@ -335,6 +335,89 @@ class PairEnvScenario(_BaseScenario):
         return self.pair.apps[primary] if primary is not None else None
 
 
+class ChaosScenario(_BaseScenario):
+    """The randomized-campaign testbed used by :mod:`repro.chaos`.
+
+    A pair (``alpha``/``beta``) runs the synthetic stateful application
+    (hot counters + checkpoints) while an external ``client`` node feeds
+    a steady diverter workload — so every chaos run exercises role
+    negotiation, checkpointing, MSMQ store-and-forward and the diverter
+    redirect path at once, and the invariant monitors have live signals
+    (checkpoint hooks, queue conservation counters) to watch.
+    """
+
+    PAIR_NODES = ("alpha", "beta")
+    CLIENT = "client"
+    APP_NAME = "synthetic"
+
+    def __init__(
+        self,
+        seed: int = 0,
+        config: Optional[OfttConfig] = None,
+        dual_lan: bool = False,
+        workload_period: float = 200.0,
+        checkpoint_period: float = 500.0,
+    ) -> None:
+        super().__init__(seed, dual_lan)
+        self.config = config or OfttConfig()
+        self.workload_period = workload_period
+        self.workload_sent = 0
+        self._workload_on = False
+
+        from repro.apps.synthetic import SyntheticStateApp
+
+        for name in self.PAIR_NODES:
+            self._add_machine(name).boot_immediately()
+        self._add_machine(self.CLIENT).boot_immediately()
+
+        self.pair = OfttPair(
+            network=self.network,
+            systems={name: self.systems[name] for name in self.PAIR_NODES},
+            config=self.config,
+            app_factory=lambda: SyntheticStateApp(
+                cold_kb=4, hot_vars=4, tick_period=100.0, checkpoint_period=checkpoint_period
+            ),
+            unit="chaos",
+            subscriber_nodes=[self.CLIENT],
+            trace=self.trace,
+        )
+
+        client_node = self.network.nodes[self.CLIENT]
+        self.client_qmgr = QueueManager(self.kernel, self.network, client_node)
+        self.client_qmgr.attach_to_system(self.systems[self.CLIENT])
+        self.diverter_client = DiverterClient(
+            node=client_node,
+            qmgr=self.client_qmgr,
+            unit="chaos",
+            pair_nodes=list(self.PAIR_NODES),
+            trace=self.trace,
+        )
+
+    def start(self, settle: bool = True) -> None:
+        """Start the pair and the client workload."""
+        self.pair.start()
+        if settle:
+            self.pair.settle()
+        self._workload_on = True
+        self._workload_tick()
+
+    def stop_workload(self) -> None:
+        """Stop generating client traffic (drain phase of a run)."""
+        self._workload_on = False
+
+    def _workload_tick(self) -> None:
+        if not self._workload_on:
+            return
+        self.workload_sent += 1
+        self.diverter_client.send({"op": "tick", "n": self.workload_sent}, label="workload")
+        self.kernel.schedule(self.workload_period, self._workload_tick)
+
+
+def build_chaos(seed: int = 0, config: Optional[OfttConfig] = None, **kwargs) -> ChaosScenario:
+    """Construct (without starting) the chaos-campaign testbed."""
+    return ChaosScenario(seed=seed, config=config, **kwargs)
+
+
 def build_pair_env(seed: int = 0, config: Optional[OfttConfig] = None, app_factory=None, **kwargs) -> PairEnvScenario:
     """Construct (without starting) a minimal two-node pair environment."""
     return PairEnvScenario(seed=seed, config=config, app_factory=app_factory, **kwargs)

@@ -11,6 +11,14 @@ and reboots of its node (persistent messages included); express messages
 are purged on :meth:`on_crash`.  While the node is down the service does
 not answer, so senders keep retrying, which is precisely the mechanism the
 Diverter leans on during a switchover.
+
+Retry cadence: each outgoing message backs off exponentially —
+``min(retry_interval * backoff**(attempts-1), max_retry_interval)`` plus
+uniform seeded jitter — so a sustained partition does not hammer the wire
+at a fixed rate.  ``backoff_factor=1.0`` with zero jitter reproduces the
+original fixed cadence.  Jitter draws come from the sim RNG (the network
+stream by default) and only happen when jitter is enabled, keeping seed
+replay intact either way.
 """
 
 from __future__ import annotations
@@ -52,11 +60,25 @@ class QueueManager:
         node: NetNode,
         retry_interval: float = 250.0,
         message_ttl: float = 60_000.0,
+        backoff_factor: float = 1.0,
+        max_retry_interval: Optional[float] = None,
+        retry_jitter: float = 0.0,
+        rng=None,
     ) -> None:
+        if backoff_factor < 1.0:
+            raise MsqError(f"backoff_factor must be at least 1.0, got {backoff_factor}")
+        if retry_jitter < 0.0:
+            raise MsqError(f"retry_jitter must be non-negative, got {retry_jitter}")
         self.kernel = kernel
         self.network = network
         self.node = node
         self.retry_interval = retry_interval
+        self.backoff_factor = backoff_factor
+        self.max_retry_interval = max_retry_interval if max_retry_interval is not None else retry_interval
+        if self.max_retry_interval < retry_interval:
+            raise MsqError("max_retry_interval must be at least retry_interval")
+        self.retry_jitter = retry_jitter
+        self.rng = rng if rng is not None else network.rng
         self.message_ttl = message_ttl
         self.queues: Dict[str, MsmqQueue] = {}
         self.outgoing: Dict[str, _OutgoingEntry] = {}
@@ -183,7 +205,16 @@ class QueueManager:
             },
         }
         self.network.send(self.node.name, entry.dest_node, MSQ_PORT, packet, size=128)
-        entry.next_retry_at = self.kernel.now + self.retry_interval
+        entry.next_retry_at = self.kernel.now + self._retry_delay(entry.attempts)
+
+    def _retry_delay(self, attempts: int) -> float:
+        """Backoff delay before the next retry of a message on attempt *attempts*."""
+        delay = self.retry_interval
+        if self.backoff_factor > 1.0:
+            delay = min(delay * self.backoff_factor ** (attempts - 1), self.max_retry_interval)
+        if self.retry_jitter > 0.0:
+            delay += self.rng.uniform(0.0, self.retry_jitter)
+        return delay
 
     # -- receive path ---------------------------------------------------------------
 

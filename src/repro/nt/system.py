@@ -60,6 +60,13 @@ class NTSystem:
         self.trace = trace if trace is not None else TraceLog(clock=lambda: kernel.now)
         self.boot_time = boot_time
         self.boot_jitter = boot_jitter
+        #: Relative speed of this machine's clock (1.0 = nominal).  A
+        #: value above 1.0 stretches the periods of OFTT timers driven
+        #: from this machine — the observable effect of clock skew/drift
+        #: between pair nodes (heartbeats and reports arrive late
+        #: relative to the peer's timeouts).  Faults set this via
+        #: :class:`repro.faults.faultlib.ClockSkew`.
+        self.clock_scale = 1.0
         self.state = SystemState.OFF
         self.registry = NTRegistry()
         self.perfmon = PerfMon(self)

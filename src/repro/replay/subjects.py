@@ -19,15 +19,19 @@ from dataclasses import dataclass
 from typing import Callable, Dict, List, Union
 
 from repro.apps.synthetic import SyntheticStateApp
+from repro.chaos.runner import ChaosRun
+from repro.chaos.schedule import ScheduleGenerator
 from repro.faults.campaign import Campaign
 from repro.faults.faultlib import AppCrash, BlueScreen, MiddlewareCrash, NodeFailure, NodeReboot
 from repro.faults.injector import FaultInjector
 from repro.harness.scenario import (
+    ChaosScenario,
     build_demo,
     build_integrated,
     build_pair_env,
     build_remote_monitoring,
 )
+from repro.simnet.random import RngStreams
 from repro.replay.runner import (
     ReplayResult,
     RoundTripResult,
@@ -107,6 +111,24 @@ def _demo_campaign_trace(seed: int):
     return scenario.trace, campaign.replay_signature()
 
 
+def _chaos_trace(seed: int):
+    """One generated chaos schedule as a replay subject.
+
+    Returns ``(trace, RunResult wire form)`` so the checker gates on the
+    full event stream *and* the report payload (violations, stats) —
+    the byte-identity the ``repro.chaos/v1`` JSON contract promises.
+    """
+    generator = ScheduleGenerator(
+        nodes=list(ChaosScenario.PAIR_NODES),
+        links=["lan0"],
+        process=ChaosScenario.APP_NAME,
+        rng=RngStreams(seed).stream("chaos.schedule"),
+    )
+    run = ChaosRun(seed=seed, schedule=generator.generate())
+    result = run.execute()
+    return run.scenario.trace, result.as_wire()
+
+
 # -- checkpoint round-trip subjects ----------------------------------------
 
 
@@ -151,6 +173,7 @@ SUBJECTS: Dict[str, Subject] = {
         _trace_subject("remote-monitoring", "Figure 1(a) SCADA pair over an OPC server", _remote_monitoring_trace),
         _trace_subject("integrated", "Figure 1(b) integrated server+client pair", _integrated_trace),
         _trace_subject("demo-campaign", "§4 failure demos (a)-(d) with outcome signature", _demo_campaign_trace),
+        _trace_subject("chaos", "one generated chaos schedule with monitors and report payload", _chaos_trace),
         Subject(
             name="roundtrip-scada",
             kind="roundtrip",

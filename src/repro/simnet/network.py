@@ -12,12 +12,28 @@ Failure realism: a powered-off node neither sends nor receives; a NIC can
 be taken down individually (dual-network experiments); segments can be
 partitioned via :class:`repro.simnet.partitions.PartitionController`; and
 messages may be dropped by per-segment loss probability.
+
+Chaos extensions (used by :mod:`repro.faults` / :mod:`repro.chaos`):
+
+* *asymmetric partitions* — per-direction ``(source, dest)`` blocks, so
+  A can reach B while B cannot reach A;
+* *frame corruption* — per-link probability that a frame fails its
+  checksum on delivery and is discarded (detected corruption);
+* *frame duplication* — per-link probability that a frame is delivered
+  twice (retry races at the switch level);
+* *egress delay* — per-node extra latency on every outgoing frame,
+  modelling fail-slow ("gray") hosts and inter-node clock skew as seen
+  from the wire.
+
+All of these draw randomness lazily from the network RNG stream only
+while enabled, so runs that never inject them keep their exact
+pre-existing draw sequence.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.errors import SimError
 from repro.simnet.kernel import SimKernel
@@ -160,8 +176,15 @@ class Network:
         self.nodes: Dict[str, NetNode] = {}
         self.links: Dict[str, Link] = {}
         self.partition_of: Dict[str, Dict[str, int]] = {}  # link -> node -> group
+        # -- chaos state (see module docstring) --
+        self.blocked_pairs: Set[Tuple[str, str]] = set()  # (source, dest) directional blocks
+        self.corrupt_prob: Dict[str, float] = {}  # link -> P(frame corrupted)
+        self.dup_prob: Dict[str, float] = {}  # link -> P(frame duplicated)
+        self.egress_delay: Dict[str, float] = {}  # node -> extra outgoing latency
         self.delivered_count = 0
         self.dropped_count = 0
+        self.corrupted_count = 0
+        self.duplicated_count = 0
         # TCP-like per-channel ordering: frames between the same
         # (source, dest, port) never overtake each other, even under
         # jitter.  Loss still re-orders *content* at higher layers.
@@ -212,6 +235,68 @@ class Network:
             return False
         return groups.get(a, 0) != groups.get(b, 0)
 
+    # -- chaos controls (asymmetric blocks, corruption, duplication, delay) ---
+
+    def block_direction(self, source: str, dest: str) -> None:
+        """Drop every frame travelling *source* -> *dest* (one-way)."""
+        self.blocked_pairs.add((source, dest))
+
+    def unblock_direction(self, source: str, dest: str) -> None:
+        """Lift a directional block (idempotent)."""
+        self.blocked_pairs.discard((source, dest))
+
+    def clear_blocks(self) -> None:
+        """Lift every directional block."""
+        self.blocked_pairs.clear()
+
+    def set_corruption(self, link_name: str, probability: float) -> None:
+        """Corrupt frames on *link_name* with *probability* (0 disables).
+
+        Corruption is *detected*: the frame fails its checksum at the
+        receiver and is discarded (traced as ``frame-corrupted``), so the
+        effect is loss that reliability layers must absorb via retry.
+        """
+        if link_name not in self.links:
+            raise SimError(f"no such link {link_name}")
+        if probability <= 0.0:
+            self.corrupt_prob.pop(link_name, None)
+        else:
+            self.corrupt_prob[link_name] = min(1.0, probability)
+
+    def set_duplication(self, link_name: str, probability: float) -> None:
+        """Duplicate frames on *link_name* with *probability* (0 disables)."""
+        if link_name not in self.links:
+            raise SimError(f"no such link {link_name}")
+        if probability <= 0.0:
+            self.dup_prob.pop(link_name, None)
+        else:
+            self.dup_prob[link_name] = min(1.0, probability)
+
+    def set_egress_delay(self, node_name: str, delay: float) -> None:
+        """Add *delay* to every frame *node_name* sends (0 removes).
+
+        Models a fail-slow host (gray failure) or a node whose skewed
+        clock makes its periodic traffic arrive late relative to peer
+        timeouts.
+        """
+        if node_name not in self.nodes:
+            raise SimError(f"no such node {node_name}")
+        if delay <= 0.0:
+            self.egress_delay.pop(node_name, None)
+        else:
+            self.egress_delay[node_name] = delay
+
+    def path_ok(self, source: str, dest: str) -> bool:
+        """Whether a frame sent now from *source* would reach *dest*.
+
+        Combines :meth:`usable_path` with the directional block table —
+        the check invariant monitors use to decide whether connectivity
+        between two nodes is nominally healthy.
+        """
+        if (source, dest) in self.blocked_pairs:
+            return False
+        return self.usable_path(source, dest) is not None
+
     # -- delivery -------------------------------------------------------------
 
     def usable_path(self, source: str, dest: str) -> Optional[Link]:
@@ -241,9 +326,23 @@ class Network:
             self.dropped_count += 1
             self.trace.emit("net", source, "send-failed", dest=dest, port=port)
             return False
+        if (source, dest) in self.blocked_pairs:
+            # Asymmetric partition: the frame leaves the NIC but never
+            # arrives; the sender cannot tell (datagram semantics).
+            self.dropped_count += 1
+            self.trace.emit("net", source, "frame-blocked", dest=dest, port=port, link=link.name)
+            return True
         if link.loss > 0 and self.rng.random() < link.loss:
             self.dropped_count += 1
             self.trace.emit("net", source, "frame-lost", dest=dest, port=port, link=link.name)
+            return True
+        corrupt_prob = self.corrupt_prob.get(link.name, 0.0)
+        if corrupt_prob > 0 and self.rng.random() < corrupt_prob:
+            # Detected corruption: the checksum fails at the receiver and
+            # the frame is discarded there, one latency later.
+            self.corrupted_count += 1
+            self.dropped_count += 1
+            self.trace.emit("net", source, "frame-corrupted", dest=dest, port=port, link=link.name)
             return True
         message = Message(
             source=source,
@@ -254,11 +353,30 @@ class Network:
             link=link.name,
             sent_at=self.kernel.now,
         )
-        delay = link.delay_for(size, self.rng)
+        delay = link.delay_for(size, self.rng) + self.egress_delay.get(source, 0.0)
         channel = (source, dest, port)
         deliver_at = max(self.kernel.now + delay, self._channel_clock.get(channel, 0.0))
         self._channel_clock[channel] = deliver_at
         self.kernel.schedule(deliver_at - self.kernel.now, self._deliver, message)
+        dup_prob = self.dup_prob.get(link.name, 0.0)
+        if dup_prob > 0 and self.rng.random() < dup_prob:
+            # The duplicate is a distinct frame with its own delay draw,
+            # clamped to the channel clock so per-channel FIFO still holds.
+            self.duplicated_count += 1
+            self.trace.emit("net", source, "frame-duplicated", dest=dest, port=port, link=link.name)
+            dup_delay = link.delay_for(size, self.rng) + self.egress_delay.get(source, 0.0)
+            dup_at = max(self.kernel.now + dup_delay, self._channel_clock[channel])
+            self._channel_clock[channel] = dup_at
+            duplicate = Message(
+                source=source,
+                dest=dest,
+                port=port,
+                payload=payload,
+                size=size,
+                link=link.name,
+                sent_at=self.kernel.now,
+            )
+            self.kernel.schedule(dup_at - self.kernel.now, self._deliver, duplicate)
         return True
 
     def _deliver(self, message: Message) -> None:
@@ -275,6 +393,11 @@ class Network:
         if self._partitioned(message.link, message.source, message.dest):
             self.dropped_count += 1
             self.trace.emit("net", message.dest, "deliver-failed", port=message.port, reason="partition")
+            return
+        if (message.source, message.dest) in self.blocked_pairs:
+            # Directional block raised while the frame was in flight.
+            self.dropped_count += 1
+            self.trace.emit("net", message.dest, "deliver-failed", port=message.port, reason="asym-block")
             return
         handler = node.handler_for(message.port)
         if handler is None:

@@ -1,0 +1,62 @@
+"""CLI contract tests for ``oftt-chaos``."""
+
+import json
+
+from repro.chaos.cli import main
+from repro.chaos.report import JSON_SCHEMA
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    return code, capsys.readouterr().out
+
+
+def test_small_campaign_passes(capsys):
+    code, out = run_cli(capsys, "--seeds", "1", "--schedules", "2")
+    assert code == 0
+    assert "2 run(s): 2 ok" in out
+
+
+def test_json_report_schema(capsys):
+    code, out = run_cli(capsys, "--seeds", "1", "--schedules", "1", "--json")
+    assert code == 0
+    document = json.loads(out)
+    assert document["schema"] == JSON_SCHEMA
+    assert document["mode"] == "campaign"
+    assert document["summary"]["runs"] == 1
+    assert document["summary"]["failed"] == 0
+    assert document["minimization"] is None
+    assert len(document["runs"]) == 1
+    assert document["runs"][0]["passed"] is True
+
+
+def test_self_test_catches_sabotage_and_minimizes(capsys):
+    code, out = run_cli(capsys, "--self-test", "--json")
+    assert code == 1
+    document = json.loads(out)
+    assert document["mode"] == "self-test"
+    assert document["summary"]["failed"] == 1
+    assert document["summary"]["violations"] >= 1
+    fired = {v["invariant"] for run in document["runs"] for v in run["violations"]}
+    assert "split-brain" in fired
+    minimization = document["minimization"]
+    assert minimization is not None
+    assert minimization["reproduced"] is True
+    assert minimization["minimal_size"] <= 3
+
+
+def test_same_invocation_is_byte_identical(capsys):
+    _, first = run_cli(capsys, "--seeds", "1", "--schedules", "2", "--json")
+    _, second = run_cli(capsys, "--seeds", "1", "--schedules", "2", "--json")
+    assert first == second
+
+
+def test_usage_error_exit_code(capsys):
+    assert main(["--seeds", "0"]) == 2
+
+
+def test_out_writes_report_file(tmp_path, capsys):
+    target = tmp_path / "report.json"
+    code, out = run_cli(capsys, "--seeds", "1", "--schedules", "1", "--json", "--out", str(target))
+    assert code == 0
+    assert target.read_text(encoding="utf-8") == out

@@ -1,0 +1,50 @@
+"""ddmin minimizer tests."""
+
+from repro.chaos.cli import SELF_TEST_ENTRIES, SELF_TEST_HORIZON, SELF_TEST_SABOTAGE
+from repro.chaos.minimize import _split, minimize_schedule
+from repro.chaos.schedule import ChaosSchedule
+
+
+def test_split_contiguous_no_empties():
+    assert _split([0, 1, 2, 3, 4], 2) == [[0, 1, 2], [3, 4]]
+    assert _split([0, 1, 2], 3) == [[0], [1], [2]]
+    assert _split([0, 1], 5) == [[0], [1]]
+    assert _split([7], 1) == [[7]]
+
+
+def test_split_covers_all_indices():
+    indices = list(range(11))
+    for parts in range(1, 14):
+        chunks = _split(indices, parts)
+        flat = [i for chunk in chunks for i in chunk]
+        assert flat == indices
+        assert all(chunks)
+
+
+def test_minimize_self_test_schedule_to_partition_and_heal():
+    schedule = ChaosSchedule(entries=list(SELF_TEST_ENTRIES), horizon=SELF_TEST_HORIZON)
+    result = minimize_schedule(0, schedule, "split-brain", sabotage_name=SELF_TEST_SABOTAGE)
+    assert result.reproduced
+    assert result.original_size == len(SELF_TEST_ENTRIES)
+    assert result.minimal_size <= 3
+    kinds = sorted(entry.kind for entry in result.schedule.entries)
+    assert kinds == ["heal-network", "partition"]
+    assert result.runs_used >= 1
+
+
+def test_minimize_reports_non_reproduction():
+    schedule = ChaosSchedule(entries=list(SELF_TEST_ENTRIES), horizon=SELF_TEST_HORIZON)
+    # Without the sabotage the pair recovers; split-brain never fires.
+    result = minimize_schedule(0, schedule, "split-brain")
+    assert not result.reproduced
+    assert result.minimal_size == result.original_size
+    assert result.runs_used == 1
+
+
+def test_minimization_wire_form_is_json_safe():
+    schedule = ChaosSchedule(entries=list(SELF_TEST_ENTRIES), horizon=SELF_TEST_HORIZON)
+    result = minimize_schedule(0, schedule, "split-brain", sabotage_name=SELF_TEST_SABOTAGE)
+    wire = result.as_wire()
+    assert wire["invariant"] == "split-brain"
+    assert wire["minimal_size"] == len(wire["schedule"]["entries"])
+    assert wire["kept_indices"] == sorted(wire["kept_indices"])

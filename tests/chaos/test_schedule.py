@@ -1,0 +1,91 @@
+"""Unit tests for chaos schedule generation and serialization."""
+
+from repro.chaos.schedule import FAULT_BUILDERS, ChaosSchedule, FaultEntry, ScheduleGenerator
+from repro.simnet.random import RngStreams
+
+
+def make_generator(seed=0):
+    return ScheduleGenerator(
+        nodes=["alpha", "beta"],
+        links=["lan0"],
+        process="synthetic",
+        rng=RngStreams(seed).stream("chaos.schedule"),
+    )
+
+
+def test_generation_is_seed_deterministic():
+    first = [make_generator(7).generate() for _ in range(1)][0]
+    second = make_generator(7).generate()
+    assert first.as_wire() == second.as_wire()
+
+
+def test_different_seeds_differ():
+    schedules_a = [make_generator(0).generate().as_wire() for _ in range(1)]
+    schedules_b = [make_generator(1).generate().as_wire() for _ in range(1)]
+    assert schedules_a != schedules_b
+
+
+def test_every_generated_kind_is_buildable():
+    generator = make_generator(3)
+    for _ in range(20):
+        schedule = generator.generate()
+        for entry in schedule.entries:
+            assert entry.kind in FAULT_BUILDERS
+            entry.build()  # must materialize without an environment
+
+
+def test_horizon_leaves_recovery_tail():
+    generator = make_generator(1)
+    for _ in range(10):
+        schedule = generator.generate()
+        last = max(entry.at for entry in schedule.entries)
+        assert schedule.horizon - last >= 12_000.0
+
+
+def test_wire_round_trip():
+    schedule = make_generator(5).generate()
+    wire = schedule.as_wire()
+    assert ChaosSchedule.from_wire(wire).as_wire() == wire
+
+
+def test_entry_wire_round_trip():
+    entry = FaultEntry(1_500.0, "gray-node", {"node": "alpha", "delay": 120.0})
+    assert FaultEntry.from_wire(entry.as_wire()) == entry
+
+
+def test_subset_keeps_indices_and_horizon():
+    entries = [
+        FaultEntry(1_000.0, "heal-network", {}),
+        FaultEntry(2_000.0, "node-failure", {"node": "alpha"}),
+        FaultEntry(3_000.0, "node-reboot", {"node": "alpha"}),
+    ]
+    schedule = ChaosSchedule(entries=entries, horizon=9_000.0)
+    subset = schedule.subset([0, 2])
+    assert [e.kind for e in subset.entries] == ["heal-network", "node-reboot"]
+    assert subset.horizon == 9_000.0
+
+
+def test_sorted_entries_stable_ties():
+    entries = [
+        FaultEntry(1_000.0, "node-failure", {"node": "beta"}),
+        FaultEntry(1_000.0, "heal-network", {}),
+    ]
+    schedule = ChaosSchedule(entries=entries)
+    assert [e.kind for e in schedule.sorted_entries()] == ["heal-network", "node-failure"]
+
+
+def test_destructive_faults_come_with_repairs():
+    generator = make_generator(11)
+    repair_for = {
+        "bluescreen": "node-reboot",
+        "node-failure": "node-reboot",
+        "middleware-crash": "reinstall-middleware",
+        "partition": "heal-network",
+        "asym-partition": "heal-network",
+    }
+    for _ in range(15):
+        schedule = generator.generate()
+        kinds = [entry.kind for entry in schedule.sorted_entries()]
+        for index, kind in enumerate(kinds):
+            if kind in repair_for:
+                assert repair_for[kind] in kinds[index + 1 :]

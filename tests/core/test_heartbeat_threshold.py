@@ -1,0 +1,86 @@
+"""Miss-threshold behaviour of the heartbeat failure detector."""
+
+import pytest
+
+from repro.core.config import OfttConfig
+from repro.core.heartbeat import HeartbeatMonitor
+from repro.simnet.kernel import SimKernel
+
+from tests.core.util import make_pair_world
+
+
+def make_monitor(miss_threshold, sweep_period=100.0, timeout=250.0):
+    kernel = SimKernel()
+    failures = []
+    monitor = HeartbeatMonitor(
+        kernel,
+        sweep_period=sweep_period,
+        on_failure=lambda component, silence: failures.append((component, silence)),
+        miss_threshold=miss_threshold,
+    )
+    monitor.watch("app", timeout=timeout)
+    monitor.start()
+    return kernel, monitor, failures
+
+
+def test_threshold_one_fails_on_first_late_sweep():
+    kernel, monitor, failures = make_monitor(miss_threshold=1)
+    kernel.run(until=300.0)  # sweeps at 100, 200, 300; silence 300 > 250
+    assert [component for component, _ in failures] == ["app"]
+    assert monitor.is_suspected("app")
+
+
+def test_higher_threshold_needs_consecutive_misses():
+    kernel, monitor, failures = make_monitor(miss_threshold=3)
+    kernel.run(until=400.0)  # two late sweeps (300, 400): not yet
+    assert failures == []
+    kernel.run(until=500.0)  # third consecutive late sweep
+    assert len(failures) == 1
+    assert monitor.is_suspected("app")
+
+
+def test_beat_resets_the_miss_counter():
+    kernel, monitor, failures = make_monitor(miss_threshold=3)
+    kernel.schedule(350.0, lambda: monitor.beat("app"))
+    kernel.run(until=600.0)  # misses at 300, reset at 350, silent again
+    assert failures == []
+    kernel.run(until=900.0)  # misses at 700, 800, 900 relative to 350 beat
+    assert len(failures) == 1
+
+
+def test_resume_clears_misses():
+    kernel, monitor, failures = make_monitor(miss_threshold=2)
+    kernel.run(until=300.0)  # one miss banked
+    monitor.pause("app")
+    monitor.resume("app")
+    kernel.run(until=500.0)  # silence restarts at 300; sweep 500 < 300+250... one miss
+    assert failures == []
+    kernel.run(until=700.0)
+    assert len(failures) == 1
+
+
+def test_constructor_rejects_bad_threshold():
+    kernel = SimKernel()
+    with pytest.raises(ValueError):
+        HeartbeatMonitor(kernel, 100.0, lambda c, s: None, miss_threshold=0)
+
+
+def test_config_validation():
+    OfttConfig(heartbeat_miss_threshold=2).validate()
+    with pytest.raises(ValueError):
+        OfttConfig(heartbeat_miss_threshold=0).validate()
+
+
+def test_engine_wires_config_threshold():
+    world = make_pair_world(config=OfttConfig(heartbeat_miss_threshold=3))
+    for name in ("alpha", "beta"):
+        assert world.pair.engines[name].monitor.miss_threshold == 3
+
+
+def test_desensitised_pair_still_fails_over():
+    world = make_pair_world(config=OfttConfig(heartbeat_miss_threshold=3))
+    world.start()
+    primary, backup = world.primary, world.backup
+    world.systems[primary].power_off()
+    world.run_for(8_000.0)
+    assert world.pair.engines[backup].role.value == "primary"
