@@ -1,11 +1,11 @@
 # Developer entry points.  `make verify` is the CI gate: tier-1 tests,
 # the static-analysis toolkit (see ANALYSIS.md), the dynamic
-# replay-divergence gate (see REPLAY.md), and the chaos smoke campaign
-# (see CHAOS.md).
+# replay-divergence gate (see REPLAY.md), the chaos smoke campaign
+# (see CHAOS.md), and the parallel-equivalence gate (see PERF.md).
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest verify
+.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest perf-gate bench verify
 
 test:
 	$(PY) -m pytest -x -q
@@ -42,4 +42,13 @@ chaos-selftest:
 		echo "chaos self-test: expected exit 1, got $$status" >&2; exit 1; \
 	fi
 
-verify: test lint lint-tests replay chaos chaos-selftest
+# The executor contract (see PERF.md): a campaign run at --jobs 2 must
+# render byte-identically to the serial run.
+perf-gate:
+	$(PY) -m repro.perf check-chaos --seeds 2 --schedules 2 --jobs 2
+
+# Quick-profile benchmark; saves the next numbered BENCH_<n>.json here.
+bench:
+	$(PY) -m repro.bench --profile quick --jobs 2 --save
+
+verify: test lint lint-tests replay chaos chaos-selftest perf-gate

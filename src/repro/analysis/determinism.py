@@ -72,7 +72,7 @@ _ENTROPY_CALLS = {"os.urandom", "uuid.uuid1", "uuid.uuid4"}
 _AMBIENT_CALLS = {
     "os.getenv", "os.environ.get", "os.listdir", "os.scandir", "os.walk",
     "os.stat", "os.getcwd", "os.path.exists", "os.path.getmtime", "os.path.getsize",
-    "open", "io.open",
+    "os.cpu_count", "open", "io.open",
 }
 _AMBIENT_ATTRS = {"os.environ", "sys.argv"}
 

@@ -1,0 +1,22 @@
+"""repro.bench: the OFTT benchmark harness (``oftt-bench``).
+
+Micro benches time the sim hot paths (kernel event dispatch, trace
+emission and fingerprinting, checkpoint round-trips); macro benches time
+the end-to-end workloads the toolkit actually runs (a chaos campaign
+serial vs ``--jobs N`` with a byte-equality check, the §4 demo-campaign
+replay subject).  Reports follow the ``repro.bench/v1`` contract:
+sorted-key JSON whose *deterministic view* (everything except measured
+wall times and host facts) is byte-stable across runs and machines.
+"""
+
+from repro.bench.benches import run_benches
+from repro.bench.report import SCHEMA, build_report, deterministic_view, next_bench_path, render_json
+
+__all__ = [
+    "SCHEMA",
+    "build_report",
+    "deterministic_view",
+    "next_bench_path",
+    "render_json",
+    "run_benches",
+]

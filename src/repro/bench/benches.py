@@ -1,0 +1,179 @@
+"""The bench catalogue: micro sim hot paths, macro end-to-end workloads.
+
+Every bench returns one dict with three parts::
+
+    {"name": ..., "work": {...deterministic...}, "measured": {...timed...}}
+
+``work`` is a pure function of the bench parameters (iteration counts,
+event totals, checks) — the byte-stable half of the ``repro.bench/v1``
+report.  ``measured`` holds wall seconds and rates from this run.
+
+This module is the one sanctioned home of wall-clock reads in ``src``
+(benchmarks exist to read the host clock); everything it *times* is
+still fully deterministic sim code.
+"""
+# oftt-lint: file-ok[wall-clock] -- benchmarks time the host by definition.
+
+from __future__ import annotations
+
+import time
+from typing import Any, Callable, Dict, List
+
+from repro.chaos.cli import campaign
+from repro.chaos.report import render_json as chaos_render_json
+from repro.apps.synthetic import SyntheticStateApp
+from repro.harness.scenario import build_pair_env
+from repro.replay.runner import checkpoint_roundtrip
+from repro.replay.subjects import run_subject
+from repro.simnet.kernel import SimKernel
+from repro.simnet.trace import TraceLog
+
+#: (seeds, schedules) per profile for the macro campaign bench.
+CAMPAIGN_SHAPE = {"quick": (4, 5), "full": (10, 10)}
+PROFILES = tuple(CAMPAIGN_SHAPE)
+
+_WARMUP = 15_000.0  #: sim ms before the checkpoint bench starts capturing
+
+
+def _timed(fn: Callable[[], Any]) -> tuple:
+    start = time.perf_counter()
+    value = fn()
+    return value, time.perf_counter() - start
+
+
+def _rate(count: int, seconds: float) -> float:
+    return round(count / seconds, 1) if seconds > 0 else 0.0
+
+
+def bench_kernel_events(n: int) -> Dict[str, Any]:
+    """Schedule *n* no-op callbacks (cancelling every third) and drain.
+
+    The cancel mix exercises both the lazy-cancel skip in ``run()`` and
+    the heap compaction path; ``pending`` must hit zero either way.
+    """
+    kernel = SimKernel()
+    fired = [0]
+
+    def tick() -> None:
+        fired[0] += 1
+
+    def drive() -> None:
+        calls = [kernel.schedule(float(i % 997), tick) for i in range(n)]
+        for call in calls[::3]:
+            call.cancel()
+        kernel.run()
+
+    _, seconds = _timed(drive)
+    cancelled = len(range(0, n, 3))
+    return {
+        "name": "kernel-events",
+        "work": {
+            "scheduled": n,
+            "cancelled": cancelled,
+            "fired": fired[0],
+            "drained": kernel.pending == 0,
+        },
+        "measured": {"wall_s": round(seconds, 4), "events_per_s": _rate(n, seconds)},
+    }
+
+
+def bench_trace_emits(n: int) -> Dict[str, Any]:
+    """Emit *n* records (no subscribers), then fingerprint cold and warm.
+
+    Times the ``emit`` fast path plus the per-record fingerprint cache:
+    the second full fingerprint should be near-free.
+    """
+    trace = TraceLog()
+
+    def drive() -> TraceLog:
+        for i in range(n):
+            trace.emit("bench", f"component-{i % 7}", f"event-{i % 13}", index=i)
+        return trace
+
+    _, emit_seconds = _timed(drive)
+    cold, cold_seconds = _timed(trace.fingerprint)
+    warm, warm_seconds = _timed(trace.fingerprint)
+    return {
+        "name": "trace-emits",
+        "work": {
+            "emitted": n,
+            "selected": len(trace.select(category="bench", component="component-0")),
+            "fingerprint_stable": cold == warm,
+        },
+        "measured": {
+            "wall_s": round(emit_seconds, 4),
+            "emits_per_s": _rate(n, emit_seconds),
+            "fingerprint_cold_s": round(cold_seconds, 4),
+            "fingerprint_warm_s": round(warm_seconds, 4),
+        },
+    }
+
+
+def bench_checkpoint_roundtrips(n: int) -> Dict[str, Any]:
+    """Run *n* capture -> restore -> capture cycles on the pair scenario."""
+    scenario = build_pair_env(seed=0, app_factory=lambda: SyntheticStateApp(cold_kb=8, mode="full"))
+    scenario.start()
+    scenario.run_for(_WARMUP)
+
+    def drive() -> List[bool]:
+        return [
+            checkpoint_roundtrip(scenario, scenario.primary_app(), subject="bench", seed=0).ok
+            for _ in range(n)
+        ]
+
+    oks, seconds = _timed(drive)
+    return {
+        "name": "checkpoint-roundtrips",
+        "work": {"roundtrips": n, "ok": sum(oks)},
+        "measured": {"wall_s": round(seconds, 4), "roundtrips_per_s": _rate(n, seconds)},
+    }
+
+
+def bench_chaos_campaign(profile: str, jobs: int) -> Dict[str, Any]:
+    """Time the campaign serial and at *jobs* workers; require byte equality.
+
+    This is the acceptance bench for the parallel executor: the speedup
+    is whatever this host's cores deliver, but the reports must match
+    byte-for-byte or the bench itself reports ``byte_identical: false``.
+    """
+    seeds, schedules = CAMPAIGN_SHAPE[profile]
+    serial, serial_seconds = _timed(lambda: campaign(seeds, schedules, 0, jobs=1))
+    parallel, parallel_seconds = _timed(lambda: campaign(seeds, schedules, 0, jobs=jobs))
+    return {
+        "name": "chaos-campaign",
+        "work": {
+            "runs": seeds * schedules,
+            "jobs": jobs,
+            "failures": sum(1 for run in serial if not run.passed),
+            "byte_identical": chaos_render_json(serial) == chaos_render_json(parallel),
+        },
+        "measured": {
+            "serial_wall_s": round(serial_seconds, 4),
+            "parallel_wall_s": round(parallel_seconds, 4),
+            "speedup": round(serial_seconds / parallel_seconds, 2) if parallel_seconds > 0 else 0.0,
+        },
+    }
+
+
+def bench_replay_demo_campaign() -> Dict[str, Any]:
+    """Time the heaviest replay subject: the §4 demo campaign, run twice."""
+    result, seconds = _timed(lambda: run_subject("demo-campaign", seed=0))
+    return {
+        "name": "replay-demo-campaign",
+        "work": {"ok": result.ok, "events": result.events},
+        "measured": {"wall_s": round(seconds, 4)},
+    }
+
+
+def run_benches(profile: str = "quick", jobs: int = 2) -> List[Dict[str, Any]]:
+    """Run the full catalogue for *profile*; bench order is fixed."""
+    if profile not in CAMPAIGN_SHAPE:
+        raise ValueError(f"unknown profile {profile!r}; expected one of {PROFILES}")
+    micro_n = 50_000 if profile == "quick" else 200_000
+    return [
+        bench_kernel_events(micro_n),
+        bench_trace_emits(micro_n),
+        bench_checkpoint_roundtrips(5 if profile == "quick" else 20),
+        bench_chaos_campaign(profile, jobs),
+        bench_replay_demo_campaign(),
+    ]

@@ -1,0 +1,77 @@
+"""Command-line driver: ``python -m repro.bench`` / ``oftt-bench``.
+
+Runs the bench catalogue and prints a ``repro.bench/v1`` JSON report.
+``--save`` also writes the report to the next ``BENCH_<n>.json`` at the
+repo root (or use ``--out PATH`` for an explicit destination)::
+
+    oftt-bench                            # quick profile, report to stdout
+    oftt-bench --profile full --jobs 4 --save
+    python -m repro.bench --out /tmp/bench.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import platform
+import sys
+from typing import Any, Dict, Optional, Sequence
+
+# oftt-lint: file-ok[ambient-io] -- the bench driver reads host facts and writes reports.
+from repro.bench.benches import PROFILES, run_benches
+from repro.bench.report import build_report, next_bench_path, render_json
+from repro.perf.executor import add_jobs_argument
+
+
+def host_facts() -> Dict[str, Any]:
+    """The honest context a measurement is meaningless without."""
+    return {
+        "cpu_count": os.cpu_count() or 1,
+        "python": platform.python_version(),
+        "platform": sys.platform,
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="oftt-bench",
+        description="Benchmark harness: sim hot paths and end-to-end campaign/replay workloads.",
+    )
+    parser.add_argument("--profile", choices=PROFILES, default="quick",
+                        help="bench sizes: quick (default) or full (the 100-schedule campaign)")
+    parser.add_argument("--save", action="store_true",
+                        help="write the report to the next BENCH_<n>.json in --root")
+    parser.add_argument("--root", default=".",
+                        help="directory --save numbers reports in (default: current directory)")
+    parser.add_argument("--out", default="", help="write the report to this exact path")
+    add_jobs_argument(parser, default=2)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    options = build_parser().parse_args(argv)
+    benches = run_benches(profile=options.profile, jobs=options.jobs)
+    report = build_report(benches, profile=options.profile, jobs=options.jobs, host=host_facts())
+    rendered = render_json(report)
+    sys.stdout.write(rendered)
+
+    destinations = []
+    if options.out:
+        destinations.append(options.out)
+    if options.save:
+        destinations.append(next_bench_path(options.root))
+    for path in destinations:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(rendered)
+        print(f"wrote {path}", file=sys.stderr)
+
+    failed = [bench["name"] for bench in benches
+              if not all(value is not False for value in bench["work"].values())]
+    if failed:
+        print(f"oftt-bench: work checks failed in: {', '.join(failed)}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,74 @@
+"""The ``repro.bench/v1`` report contract.
+
+A bench report has two kinds of content and the schema keeps them
+strictly apart:
+
+* ``work`` — what was executed: iteration counts, event totals, byte
+  sizes, pass/fail checks.  Pure functions of the bench parameters, so
+  the *deterministic view* (the report minus ``measured`` and ``host``)
+  is byte-identical across runs, machines, and ``--jobs`` values — and
+  is what the tests assert on.
+* ``measured`` — wall-clock seconds and derived rates, plus the ``host``
+  block (cpu count, python version).  Honest numbers from this run of
+  this machine; never compared byte-for-byte.
+
+Saved reports are numbered ``BENCH_<n>.json`` at the repo root so a
+sequence of PRs accumulates a performance history.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from typing import Any, Dict, List
+
+SCHEMA = "repro.bench/v1"
+
+_BENCH_NAME = re.compile(r"^BENCH_(\d+)\.json$")
+
+
+def build_report(benches: List[Dict[str, Any]], profile: str, jobs: int,
+                 host: Dict[str, Any]) -> Dict[str, Any]:
+    """Assemble the top-level report dict (see module docstring)."""
+    return {
+        "schema": SCHEMA,
+        "profile": profile,
+        "jobs": jobs,
+        "host": host,
+        "benches": benches,
+    }
+
+
+def render_json(report: Dict[str, Any]) -> str:
+    """Canonical serialization: sorted keys, newline-terminated."""
+    return json.dumps(report, sort_keys=True, indent=2) + "\n"
+
+
+def deterministic_view(report: Dict[str, Any]) -> Dict[str, Any]:
+    """The report with every run-varying field removed.
+
+    Drops the ``host`` block and each bench's ``measured`` dict; what
+    remains (schema, profile, jobs, per-bench ``work``) must be
+    byte-stable — the bench tests and the replay philosophy both rely on
+    this split.
+    """
+    return {
+        "schema": report["schema"],
+        "profile": report["profile"],
+        "jobs": report["jobs"],
+        "benches": [
+            {key: value for key, value in bench.items() if key != "measured"}
+            for bench in report["benches"]
+        ],
+    }
+
+
+def next_bench_path(root: str) -> str:
+    """Path of the next ``BENCH_<n>.json`` in *root* (max existing + 1)."""
+    taken = []
+    for name in os.listdir(root):  # oftt-lint: ok[ambient-io]
+        match = _BENCH_NAME.match(name)
+        if match:
+            taken.append(int(match.group(1)))
+    return os.path.join(root, f"BENCH_{max(taken, default=0) + 1}.json")

@@ -25,9 +25,10 @@ from typing import List, Optional, Sequence, Tuple
 # oftt-lint: file-ok[ambient-io] -- the chaos driver is a host-side CLI.
 from repro.chaos.minimize import MinimizationResult, minimize_schedule
 from repro.chaos.report import render_json, render_text
-from repro.chaos.runner import RunResult, run_schedule
+from repro.chaos.runner import SABOTAGES, RunResult, run_schedule, run_schedule_task
 from repro.chaos.schedule import ChaosSchedule, FaultEntry, ScheduleGenerator
 from repro.harness.scenario import ChaosScenario
+from repro.perf.executor import add_jobs_argument, parallel_map
 from repro.simnet.random import RngStreams
 
 #: --smoke preset: seeds x schedules (>= 20 runs, the ISSUE gate).
@@ -70,6 +71,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "monitor catches it (expected exit code: 1)")
     parser.add_argument("--max-minimize-runs", type=int, default=64,
                         help="ddmin re-run budget for minimization (default: 64)")
+    parser.add_argument("--sabotage", default="", metavar="NAME",
+                        help="run the whole campaign with a named sabotage hook installed "
+                             "(monitor self-checks; see --self-test)")
+    add_jobs_argument(parser)
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="report format (default: text)")
     parser.add_argument("--json", action="store_const", const="json", dest="format",
@@ -79,14 +84,18 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def campaign(
+def campaign_tasks(
     seeds: int,
     schedules: int,
     seed_base: int,
     sabotage_name: str = "",
-) -> List[RunResult]:
-    """Generate and execute ``seeds x schedules`` runs, in order."""
-    results: List[RunResult] = []
+) -> List[Tuple[int, ChaosSchedule, str]]:
+    """Generate the ``seeds x schedules`` task list, in canonical order.
+
+    Schedule generation stays serial (it is cheap and each seed's
+    generator RNG advances per schedule); only the runs fan out.
+    """
+    tasks: List[Tuple[int, ChaosSchedule, str]] = []
     for seed in range(seed_base, seed_base + seeds):
         generator = ScheduleGenerator(
             nodes=list(ChaosScenario.PAIR_NODES),
@@ -95,9 +104,25 @@ def campaign(
             rng=RngStreams(seed).stream("chaos.schedule"),
         )
         for _ in range(schedules):
-            schedule = generator.generate()
-            results.append(run_schedule(seed, schedule, sabotage_name=sabotage_name))
-    return results
+            tasks.append((seed, generator.generate(), sabotage_name))
+    return tasks
+
+
+def campaign(
+    seeds: int,
+    schedules: int,
+    seed_base: int,
+    sabotage_name: str = "",
+    jobs: int = 1,
+) -> List[RunResult]:
+    """Generate and execute ``seeds x schedules`` runs, in order.
+
+    With ``jobs > 1`` the independent runs execute on a process pool;
+    results are merged in task order, so the campaign (and any report
+    rendered from it) is byte-identical to the serial run.
+    """
+    tasks = campaign_tasks(seeds, schedules, seed_base, sabotage_name=sabotage_name)
+    return parallel_map(run_schedule_task, tasks, jobs=jobs)
 
 
 def self_test() -> Tuple[List[RunResult], Optional[MinimizationResult]]:
@@ -119,6 +144,11 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("oftt-chaos: --seeds and --schedules must be positive", file=sys.stderr)
         return 2
 
+    if options.sabotage and options.sabotage not in SABOTAGES:
+        print(f"oftt-chaos: unknown sabotage {options.sabotage!r}; "
+              f"available: {sorted(SABOTAGES)}", file=sys.stderr)
+        return 2
+
     minimization: Optional[MinimizationResult] = None
     if options.self_test:
         results, minimization = self_test()
@@ -126,14 +156,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     else:
         seeds = SMOKE_SEEDS if options.smoke else options.seeds
         schedules = SMOKE_SCHEDULES if options.smoke else options.schedules
-        results = campaign(seeds, schedules, options.seed_base)
+        results = campaign(seeds, schedules, options.seed_base,
+                           sabotage_name=options.sabotage, jobs=options.jobs)
         mode = "smoke" if options.smoke else "campaign"
         first_failed = next((r for r in results if not r.passed), None)
         if first_failed is not None:
+            # ddmin stays serial for any --jobs: the algorithm's next
+            # subset depends on the previous verdict, and its runs_used
+            # accounting is part of the byte-stable report.
             minimization = minimize_schedule(
                 first_failed.seed,
                 first_failed.schedule,
                 first_failed.violation_names()[0],
+                sabotage_name=first_failed.sabotage,
                 max_runs=options.max_minimize_runs,
             )
 

@@ -15,10 +15,11 @@ starts; they exist so the harness can prove its own monitors fire (the
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.chaos.invariants import InvariantMonitor, Violation, default_monitors
 from repro.chaos.schedule import ChaosSchedule
+from repro.core.config import OfttConfig
 from repro.faults.injector import FaultInjector
 from repro.harness.scenario import ChaosScenario
 
@@ -98,11 +99,13 @@ class ChaosRun:
         schedule: ChaosSchedule,
         monitors: Optional[List[InvariantMonitor]] = None,
         sabotage_name: str = "",
+        config: Optional[OfttConfig] = None,
     ) -> None:
         self.seed = seed
         self.schedule = schedule
         self.monitors = monitors if monitors is not None else default_monitors()
         self.sabotage_name = sabotage_name
+        self.config = config
         #: The scenario of the last execute() — exposed for replay subjects
         #: that need the TraceLog, not just its fingerprint.
         self.scenario: Optional[ChaosScenario] = None
@@ -110,7 +113,7 @@ class ChaosRun:
 
     def execute(self) -> RunResult:
         """Build the testbed, play the schedule, collect violations."""
-        scenario = ChaosScenario(seed=self.seed)
+        scenario = ChaosScenario(seed=self.seed, config=self.config)
         self.scenario = scenario
         if self.sabotage_name:
             hook = SABOTAGES.get(self.sabotage_name)
@@ -180,6 +183,18 @@ def run_schedule(
     seed: int,
     schedule: ChaosSchedule,
     sabotage_name: str = "",
+    config: Optional[OfttConfig] = None,
 ) -> RunResult:
     """Convenience wrapper: execute one schedule with fresh monitors."""
-    return ChaosRun(seed=seed, schedule=schedule, sabotage_name=sabotage_name).execute()
+    return ChaosRun(seed=seed, schedule=schedule, sabotage_name=sabotage_name, config=config).execute()
+
+
+def run_schedule_task(task: Tuple[int, ChaosSchedule, str]) -> RunResult:
+    """Executor entry point: one ``(seed, schedule, sabotage_name)`` task.
+
+    Module-level (pickled by reference) so campaigns can fan schedules
+    out over :func:`repro.perf.executor.parallel_map`; the run is a pure
+    function of the task tuple, so worker placement cannot affect it.
+    """
+    seed, schedule, sabotage_name = task
+    return run_schedule(seed, schedule, sabotage_name=sabotage_name)

@@ -11,6 +11,12 @@ the canonicalized result payloads — the experiment-level counterpart of
 published numbers are not reproducible from its seed::
 
     python -m repro.harness.run_experiments --replay-check X2 X5
+
+``--jobs N`` fans independent experiments out over a process pool;
+tables are printed in the requested order either way, so the output is
+byte-identical for any worker count::
+
+    python -m repro.harness.run_experiments --jobs 4
 """
 
 from __future__ import annotations
@@ -22,6 +28,7 @@ from typing import Any, Callable, Dict, List, Tuple
 
 from repro.harness import experiments as E
 from repro.harness.reporting import format_dict, format_table
+from repro.perf.executor import parallel_map
 from repro.simnet.trace import canonical_value
 
 # id -> (title, runner)
@@ -44,11 +51,26 @@ EXPERIMENTS: Dict[str, Tuple[str, Callable[[], Any]]] = {
 }
 
 
-def run(ids: List[str]) -> None:
-    """Run the selected experiments, printing each result table."""
-    for experiment_id in ids:
-        title, runner = EXPERIMENTS[experiment_id]
-        result = runner()
+def run_experiment_task(experiment_id: str) -> Any:
+    """Executor entry point: run one experiment by id.
+
+    Module-level (pickled by reference) so ``--jobs`` workers can resolve
+    the id against their own freshly imported registry — the lambdas in
+    ``EXPERIMENTS`` never cross a process boundary.
+    """
+    _, runner = EXPERIMENTS[experiment_id]
+    return runner()
+
+
+def run(ids: List[str], jobs: int = 1) -> None:
+    """Run the selected experiments, printing each result table.
+
+    Results are printed in the requested id order after all runs finish,
+    so the output bytes do not depend on *jobs*.
+    """
+    results = parallel_map(run_experiment_task, ids, jobs=jobs)
+    for experiment_id, result in zip(ids, results):
+        title, _ = EXPERIMENTS[experiment_id]
         print()
         if isinstance(result, dict):
             print(format_dict(title, result))
@@ -70,11 +92,11 @@ def replay_check_experiment(experiment_id: str) -> Tuple[bool, Any, Any]:
     return first == second, first, second
 
 
-def replay_check(ids: List[str]) -> int:
+def replay_check(ids: List[str], jobs: int = 1) -> int:
     """Run each experiment twice and report reproducibility; exit-style int."""
     failures = 0
-    for experiment_id in ids:
-        match, first, second = replay_check_experiment(experiment_id)
+    checks = parallel_map(replay_check_experiment, ids, jobs=jobs)
+    for experiment_id, (match, first, second) in zip(ids, checks):
         if match:
             print(f"[ok] {experiment_id}: two runs agree")
             continue
@@ -88,14 +110,36 @@ def replay_check(ids: List[str]) -> int:
 
 def main(argv: List[str]) -> int:
     check_mode = "--replay-check" in argv
-    requested = [arg for arg in argv if arg != "--replay-check"] or list(EXPERIMENTS)
+    args = [arg for arg in argv if arg != "--replay-check"]
+    jobs = 1
+    cleaned: List[str] = []
+    index = 0
+    while index < len(args):
+        arg = args[index]
+        if arg == "--jobs" or arg.startswith("--jobs="):
+            value = arg.partition("=")[2]
+            if not value:
+                index += 1
+                if index >= len(args):
+                    print("--jobs requires a value")
+                    return 2
+                value = args[index]
+            try:
+                jobs = int(value)
+            except ValueError:
+                print(f"bad --jobs value {value!r}")
+                return 2
+        else:
+            cleaned.append(arg)
+        index += 1
+    requested = cleaned or list(EXPERIMENTS)
     unknown = [experiment_id for experiment_id in requested if experiment_id not in EXPERIMENTS]
     if unknown:
         print(f"unknown experiment ids: {unknown}; available: {sorted(EXPERIMENTS)}")
         return 2
     if check_mode:
-        return replay_check(requested)
-    run(requested)
+        return replay_check(requested, jobs=jobs)
+    run(requested, jobs=jobs)
     return 0
 
 

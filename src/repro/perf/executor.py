@@ -1,0 +1,83 @@
+"""Process-pool fan-out that is byte-identical to the serial run.
+
+Every workload this executor carries (chaos schedules, replay subjects,
+experiment scenarios, sweep grid points) is a *pure function of its
+picklable arguments*: a task rebuilds its whole world (kernel, network,
+RNG streams) from the seed it is handed, so where and when it executes
+cannot change its result.  The executor adds the remaining guarantees:
+
+* **Canonical merge order** — results come back in input order
+  (:func:`parallel_map` is order-preserving), so reports rendered from
+  the merged list serialize byte-identically to the serial run.
+* **No ambient inheritance** — workers are started with the ``spawn``
+  method: each is a fresh interpreter that re-imports the code and
+  receives nothing from the parent beyond the pickled task arguments
+  (no forked RNG state, no module-global mutations, no open handles).
+* **Serial path untouched** — ``jobs=1`` never touches
+  :mod:`multiprocessing` at all; it is a plain in-process loop, so the
+  existing single-core gates behave exactly as before.
+
+Task functions must be module-level (pickled by reference) and their
+arguments and results must be picklable.  Exceptions raised in a worker
+propagate out of :func:`parallel_map` in the parent.
+"""
+
+from __future__ import annotations
+
+import os
+from concurrent.futures import ProcessPoolExecutor
+from multiprocessing import get_context
+from typing import Any, Callable, Iterable, List, Optional, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+#: Start method used for worker processes.  ``spawn`` (not ``fork``)
+#: is deliberate: a forked worker would inherit the parent's entire
+#: address space — exactly the ambient state the determinism contract
+#: forbids.  The cost is one interpreter start per worker, amortized
+#: over the whole task list.
+START_METHOD = "spawn"
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Normalize a ``--jobs`` value: None/0 means "one per CPU".
+
+    This is the toolkit's one sanctioned ambient-host read: worker-count
+    *defaults* may follow the hardware because they cannot change any
+    result, only how fast it arrives (see PERF.md).
+    """
+    if jobs is None or jobs == 0:
+        return max(1, os.cpu_count() or 1)  # oftt-lint: ok[ambient-io]
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    return jobs
+
+
+def parallel_map(
+    fn: Callable[[T], R],
+    items: Iterable[T],
+    jobs: int = 1,
+    chunksize: int = 1,
+) -> List[R]:
+    """Apply *fn* to every item, fanning out over *jobs* worker processes.
+
+    Results are returned in input order regardless of completion order,
+    which is what makes the merged output independent of worker count.
+    With ``jobs=1`` (the default) this is a plain serial loop.
+    """
+    tasks: List[T] = list(items)
+    workers = min(resolve_jobs(jobs), len(tasks))
+    if workers <= 1:
+        return [fn(task) for task in tasks]
+    with ProcessPoolExecutor(max_workers=workers, mp_context=get_context(START_METHOD)) as pool:
+        return list(pool.map(fn, tasks, chunksize=chunksize))
+
+
+def add_jobs_argument(parser: Any, default: int = 1) -> None:
+    """Attach the standard ``--jobs`` option to an argparse parser."""
+    parser.add_argument(
+        "--jobs", type=int, default=default, metavar="N",
+        help="worker processes for independent runs; 0 = one per CPU "
+             f"(default: {default}; output is byte-identical for any value)",
+    )

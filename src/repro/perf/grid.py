@@ -1,0 +1,28 @@
+"""Canonical-order parameter grids.
+
+A grid is described as ``{axis_name: [values...]}``.  The point list is
+the cartesian product in *canonical order*: axis names sorted, the first
+(sorted) axis varying slowest and the last varying fastest, values in
+the order given.  Canonical ordering is what lets a sweep fan its points
+out over :func:`repro.perf.executor.parallel_map` and still merge into a
+byte-stable table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Mapping, Sequence
+
+
+def grid_points(axes: Mapping[str, Sequence[Any]]) -> List[Dict[str, Any]]:
+    """Cartesian product of *axes* in canonical order.
+
+    >>> grid_points({"b": [1, 2], "a": ["x"]})
+    [{'a': 'x', 'b': 1}, {'a': 'x', 'b': 2}]
+    """
+    points: List[Dict[str, Any]] = [{}]
+    for name in sorted(axes):
+        values = list(axes[name])
+        if not values:
+            raise ValueError(f"grid axis {name!r} has no values")
+        points = [dict(point, **{name: value}) for point in points for value in values]
+    return points

@@ -1,0 +1,173 @@
+"""Detector-sensitivity sweep: miss threshold x timeout over chaos schedules.
+
+The §2.2.1 failure detector has two knobs the paper leaves to the
+deployer: the heartbeat timeout and (our extension) the consecutive-miss
+threshold before a silence is declared a failure.  This sweep runs the
+same set of seeded chaos schedules under every grid point and tabulates
+the classic trade-off:
+
+* **detection latency** — for every schedule fault the heartbeat path
+  must detect (hangs, node/middleware deaths), the delay from injection
+  to the first ``heartbeat-timeout`` / ``peer-lost`` trace event;
+* **false positives** — detection events fired with *no* process- or
+  node-killing fault active: the detector being fooled by network
+  disturbance (partitions, gray nodes, corruption) or by nothing at all;
+* **invariant violations** — the safety cost, from the standard chaos
+  monitor suite, of desensitising the detector too far.
+
+A detection event is *attributed* to a destructive fault when it lands in
+``[at, at + timeout * miss_threshold + ATTRIBUTION_GRACE]``; anything
+unattributed counts as a false positive.  The same ``(seed, schedule)``
+set is evaluated at every grid point so columns are comparable, and each
+``(point, seed, schedule)`` task is a pure function of its arguments —
+the sweep fans out over :func:`repro.perf.executor.parallel_map` and
+merges into a byte-stable table.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Tuple
+
+from repro.chaos.cli import campaign_tasks
+from repro.chaos.runner import ChaosRun
+from repro.chaos.schedule import ChaosSchedule
+from repro.core.config import OfttConfig, replace_config
+from repro.perf.executor import parallel_map
+from repro.perf.grid import grid_points
+
+#: Grid swept by the CLI / EXPERIMENTS.md table.
+DEFAULT_THRESHOLDS = [1, 2, 3]
+DEFAULT_TIMEOUTS = [300.0, 500.0, 1_000.0]
+
+#: Faults that must be caught (by heartbeat silence or peer loss).
+DESTRUCTIVE_KINDS = frozenset({
+    "app-crash", "app-hang", "middleware-crash",
+    "node-failure", "bluescreen", "crash-during-checkpoint",
+})
+#: The subset only the heartbeat path can detect (no exit hook fires),
+#: i.e. the faults whose latency actually measures the detector.
+HEARTBEAT_ONLY_KINDS = frozenset({
+    "app-hang", "node-failure", "bluescreen",
+    "middleware-crash", "crash-during-checkpoint",
+})
+#: Slack added to the attribution window beyond the detector's own
+#: worst-case (timeout x miss threshold): scheduling and repair jitter.
+ATTRIBUTION_GRACE = 5_000.0
+
+#: One sweep task: (grid point, seed, schedule).
+SweepTask = Tuple[Dict[str, Any], int, ChaosSchedule]
+
+
+def _config_for(point: Dict[str, Any]) -> OfttConfig:
+    """The OfttConfig a grid point describes.
+
+    The component and peer detectors share the swept timeout so one knob
+    moves the whole detection surface; the heartbeat send period stays at
+    its default (the timeout must exceed it — enforced by validate()).
+    """
+    return replace_config(
+        OfttConfig(),
+        heartbeat_timeout=float(point["heartbeat_timeout"]),
+        peer_heartbeat_timeout=float(point["heartbeat_timeout"]),
+        heartbeat_miss_threshold=int(point["heartbeat_miss_threshold"]),
+    )
+
+
+def evaluate_sweep_task(task: SweepTask) -> Dict[str, Any]:
+    """Executor entry point: one schedule under one detector setting.
+
+    Runs the schedule with the full chaos monitor suite and extracts the
+    detection record from the trace *inside the worker*, so only a small
+    stats dict crosses the process boundary.
+    """
+    point, seed, schedule = task
+    run = ChaosRun(seed=seed, schedule=schedule, config=_config_for(point))
+    result = run.execute()
+    trace = run.scenario.trace
+    detections = sorted(
+        trace.select(category="engine", event="heartbeat-timeout")
+        + trace.select(category="engine", event="peer-lost"),
+        key=lambda record: record.time,
+    )
+    window = float(point["heartbeat_timeout"]) * int(point["heartbeat_miss_threshold"]) + ATTRIBUTION_GRACE
+
+    destructive = [e for e in schedule.sorted_entries() if e.kind in DESTRUCTIVE_KINDS]
+    latencies: List[float] = []
+    missed = 0
+    for entry in destructive:
+        if entry.kind not in HEARTBEAT_ONLY_KINDS:
+            continue
+        hit = next((r for r in detections if entry.at <= r.time <= entry.at + window), None)
+        if hit is None:
+            missed += 1
+        else:
+            latencies.append(round(hit.time - entry.at, 3))
+    false_positives = sum(
+        1
+        for record in detections
+        if not any(e.at <= record.time <= e.at + window for e in destructive)
+    )
+    return {
+        "faults": sum(1 for e in destructive if e.kind in HEARTBEAT_ONLY_KINDS),
+        "latencies": latencies,
+        "missed": missed,
+        "false_positives": false_positives,
+        "violations": len(result.violations),
+        "passed": result.passed,
+    }
+
+
+def sweep_detectors(
+    thresholds: List[int] = None,
+    timeouts: List[float] = None,
+    seeds: int = 4,
+    schedules: int = 3,
+    seed_base: int = 0,
+    jobs: int = 1,
+) -> List[Dict[str, Any]]:
+    """Run the sweep; one aggregated row per grid point, canonical order."""
+    points = grid_points({
+        "heartbeat_miss_threshold": thresholds or DEFAULT_THRESHOLDS,
+        "heartbeat_timeout": timeouts or DEFAULT_TIMEOUTS,
+    })
+    runs = [(seed, schedule) for seed, schedule, _ in campaign_tasks(seeds, schedules, seed_base)]
+    tasks: List[SweepTask] = [(point, seed, schedule) for point in points for seed, schedule in runs]
+    outcomes = parallel_map(evaluate_sweep_task, tasks, jobs=jobs)
+
+    rows: List[Dict[str, Any]] = []
+    per_point = len(runs)
+    for index, point in enumerate(points):
+        chunk = outcomes[index * per_point:(index + 1) * per_point]
+        latencies = sorted(latency for outcome in chunk for latency in outcome["latencies"])
+        detected = len(latencies)
+        rows.append({
+            "miss_threshold": point["heartbeat_miss_threshold"],
+            "timeout_ms": point["heartbeat_timeout"],
+            "runs": per_point,
+            "faults": sum(outcome["faults"] for outcome in chunk),
+            "detected": detected,
+            "missed": sum(outcome["missed"] for outcome in chunk),
+            "mean_latency_ms": round(sum(latencies) / detected, 1) if detected else None,
+            "max_latency_ms": round(latencies[-1], 1) if detected else None,
+            "false_positives": sum(outcome["false_positives"] for outcome in chunk),
+            "violations": sum(outcome["violations"] for outcome in chunk),
+        })
+    return rows
+
+
+def render_rows(rows: List[Dict[str, Any]], markdown: bool = False) -> str:
+    """Fixed-width (or markdown) table over the sweep rows."""
+    headers = list(rows[0].keys()) if rows else []
+    cells = [[("-" if row[h] is None else str(row[h])) for h in headers] for row in rows]
+    widths = [max(len(h), *(len(line[i]) for line in cells)) if cells else len(h)
+              for i, h in enumerate(headers)]
+    if markdown:
+        lines = [
+            "| " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)) + " |",
+            "|" + "|".join("-" * (w + 2) for w in widths) + "|",
+        ]
+        lines += ["| " + " | ".join(c.ljust(w) for c, w in zip(line, widths)) + " |" for line in cells]
+    else:
+        lines = ["  ".join(h.ljust(w) for h, w in zip(headers, widths))]
+        lines += ["  ".join(c.ljust(w) for c, w in zip(line, widths)) for line in cells]
+    return "\n".join(lines)

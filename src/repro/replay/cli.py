@@ -22,8 +22,9 @@ import sys
 from typing import List, Optional, Sequence
 
 # oftt-lint: file-ok[ambient-io] -- the replay checker is a host-side CLI.
+from repro.perf.executor import add_jobs_argument, parallel_map
 from repro.replay.report import render_json, render_text
-from repro.replay.subjects import SUBJECTS
+from repro.replay.subjects import SUBJECTS, check_subject_task
 
 #: Subjects ``--gate`` runs (currently: everything registered).
 GATE_SUBJECTS = list(SUBJECTS)
@@ -46,6 +47,7 @@ def build_parser() -> argparse.ArgumentParser:
                         help="shorthand for --format json")
     parser.add_argument("--list-subjects", action="store_true",
                         help="print the subject catalogue and exit")
+    add_jobs_argument(parser)
     return parser
 
 
@@ -69,7 +71,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"oftt-replay: unknown subject(s) {unknown}; available: {sorted(SUBJECTS)}", file=sys.stderr)
         return 2
 
-    results = [SUBJECTS[name].check(options.seed) for name in requested]
+    # Subjects are independent; fan out and merge in requested order so
+    # the report is byte-identical for any --jobs value.
+    tasks = [(name, options.seed) for name in requested]
+    results = parallel_map(check_subject_task, tasks, jobs=options.jobs)
 
     if options.format == "json":
         sys.stdout.write(render_json(results))

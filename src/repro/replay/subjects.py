@@ -16,7 +16,7 @@ registry is ordered (cheapest first) so ``--gate`` fails fast.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Union
+from typing import Callable, Dict, List, Tuple, Union
 
 from repro.apps.synthetic import SyntheticStateApp
 from repro.chaos.runner import ChaosRun
@@ -204,6 +204,17 @@ SUBJECTS: Dict[str, Subject] = {
 
 def run_subject(name: str, seed: int = 0) -> CheckResult:
     """Run one named subject and return its result."""
+    return SUBJECTS[name].check(seed)
+
+
+def check_subject_task(task: Tuple[str, int]) -> CheckResult:
+    """Executor entry point: one ``(subject_name, seed)`` task.
+
+    Module-level (pickled by reference) so ``oftt-replay --jobs`` can fan
+    subjects out over :func:`repro.perf.executor.parallel_map`; the
+    worker resolves the name against its own freshly imported registry.
+    """
+    name, seed = task
     return SUBJECTS[name].check(seed)
 
 

@@ -32,7 +32,7 @@ class Interrupt(Exception):
 class _ScheduledCall:
     """A callback armed at an absolute simulated time."""
 
-    __slots__ = ("time", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_kernel")
 
     def __init__(self, time: float, seq: int, callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
         self.time = time
@@ -40,10 +40,21 @@ class _ScheduledCall:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._kernel: Optional["SimKernel"] = None
 
     def cancel(self) -> None:
-        """Prevent the callback from running (idempotent)."""
+        """Prevent the callback from running (idempotent).
+
+        Cancellation is lazy — the entry stays in the kernel heap and is
+        skipped on pop — but the kernel counts cancelled entries so it
+        can compact the heap when they dominate (see
+        :meth:`SimKernel._maybe_compact`).
+        """
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._kernel is not None:
+            self._kernel._note_cancelled()
 
     def __lt__(self, other: "_ScheduledCall") -> bool:
         return (self.time, self.seq) < (other.time, other.seq)
@@ -174,6 +185,10 @@ class SimKernel:
         crashes are the point).
     """
 
+    #: Compaction only kicks in past this queue size (small heaps are
+    #: cheap to scan; rebuilding them would cost more than it saves).
+    COMPACT_MIN_SIZE = 512
+
     def __init__(self, on_error: str = "raise") -> None:
         if on_error not in ("raise", "record"):
             raise SimError(f"unknown error policy {on_error!r}")
@@ -182,6 +197,7 @@ class SimKernel:
         self.process_errors: List[Tuple[Process, BaseException]] = []
         self._queue: List[_ScheduledCall] = []
         self._seq = 0
+        self._cancelled = 0
         self._raised: Optional[BaseException] = None
         self._running = False
 
@@ -193,8 +209,34 @@ class SimKernel:
             raise SimError(f"negative delay: {delay}")
         self._seq += 1
         call = _ScheduledCall(self.now + delay, self._seq, callback, args)
+        call._kernel = self
         heapq.heappush(self._queue, call)
         return call
+
+    def _note_cancelled(self) -> None:
+        """A queued call was cancelled; compact if cancellations dominate."""
+        self._cancelled += 1
+        self._maybe_compact()
+
+    def _maybe_compact(self) -> None:
+        """Drop lazily-cancelled entries once they are half the heap.
+
+        Rebuilding is O(n) and resets the cancelled fraction to zero, so
+        the amortized cost per cancellation is O(1).  Execution order is
+        unaffected: the heap pops in strict ``(time, seq)`` order (seq is
+        unique), which is independent of the heap's internal layout.
+        """
+        if len(self._queue) < self.COMPACT_MIN_SIZE or self._cancelled * 2 < len(self._queue):
+            return
+        survivors = []
+        for call in self._queue:
+            if call.cancelled:
+                call._kernel = None
+            else:
+                survivors.append(call)
+        self._queue = survivors
+        heapq.heapify(self._queue)
+        self._cancelled = 0
 
     def spawn(self, generator: Generator[Waitable, Any, Any], name: str = "") -> Process:
         """Create and start a :class:`Process` around *generator*."""
@@ -224,7 +266,9 @@ class SimKernel:
                 if until is not None and call.time > until:
                     break
                 heapq.heappop(self._queue)
+                call._kernel = None
                 if call.cancelled:
+                    self._cancelled -= 1
                     continue
                 if call.time < self.now:
                     raise SimError("time went backwards")
@@ -243,7 +287,9 @@ class SimKernel:
         """Execute the single next event.  Returns False if queue is empty."""
         while self._queue:
             call = heapq.heappop(self._queue)
+            call._kernel = None
             if call.cancelled:
+                self._cancelled -= 1
                 continue
             self.now = call.time
             call.callback(*call.args)
@@ -255,8 +301,11 @@ class SimKernel:
 
     @property
     def pending(self) -> int:
-        """Number of scheduled (non-cancelled) calls still queued."""
-        return sum(1 for call in self._queue if not call.cancelled)
+        """Number of scheduled (non-cancelled) calls still queued.
+
+        O(1): the kernel counts cancellations instead of scanning the heap.
+        """
+        return len(self._queue) - self._cancelled
 
     # -- error policy ----------------------------------------------------
 

@@ -55,13 +55,27 @@ def canonical_detail(detail: Dict[str, Any]) -> Dict[str, Any]:
 
 @dataclass(frozen=True)
 class TraceRecord:
-    """A single trace entry."""
+    """A single trace entry.
+
+    Records are immutable once emitted; ``as_wire()`` and
+    ``fingerprint()`` are therefore memoized on the instance (replay
+    diffing and log fingerprinting call them once per comparison, which
+    used to recompute JSON + sha256 every time).  Treat the returned
+    wire dict as read-only — it is shared between callers.
+    """
 
     time: float
     category: str
     component: str
     event: str
     detail: Dict[str, Any] = field(default_factory=dict)
+    #: Memoized canonical forms (not part of identity/equality).
+    _wire_cache: Optional[Dict[str, Any]] = field(
+        default=None, init=False, repr=False, compare=False
+    )
+    _fingerprint_cache: Optional[str] = field(
+        default=None, init=False, repr=False, compare=False
+    )
 
     def __str__(self) -> str:
         extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
@@ -72,29 +86,45 @@ class TraceRecord:
 
         This is the comparison unit used by ``repro.replay``: two records
         from different runs are "the same event" iff their wire forms are
-        equal.
+        equal.  The dict is computed once and cached; do not mutate it.
         """
-        return {
-            "time": quantize(self.time),
-            "category": self.category,
-            "component": self.component,
-            "event": self.event,
-            "detail": canonical_detail(self.detail),
-        }
+        wire = self._wire_cache
+        if wire is None:
+            wire = {
+                "time": quantize(self.time),
+                "category": self.category,
+                "component": self.component,
+                "event": self.event,
+                "detail": canonical_detail(self.detail),
+            }
+            object.__setattr__(self, "_wire_cache", wire)
+        return wire
 
     def fingerprint(self) -> str:
         """Short stable hash of the wire form (for compact diffs)."""
-        payload = json.dumps(self.as_wire(), sort_keys=True, separators=(",", ":"))
-        return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+        cached = self._fingerprint_cache
+        if cached is None:
+            payload = json.dumps(self.as_wire(), sort_keys=True, separators=(",", ":"))
+            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+            object.__setattr__(self, "_fingerprint_cache", cached)
+        return cached
 
 
 class TraceLog:
-    """Append-only log of :class:`TraceRecord` entries with query helpers."""
+    """Append-only log of :class:`TraceRecord` entries with query helpers.
+
+    ``emit`` maintains per-category and per-component indexes (lists of
+    records in emission order) so that :meth:`select` — the query every
+    invariant monitor and experiment metric goes through — scans only the
+    narrowest matching index instead of the full record list.
+    """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
         self.records: List[TraceRecord] = []
         self._clock = clock
         self._subscribers: List[Callable[[TraceRecord], None]] = []
+        self._by_category: Dict[str, List[TraceRecord]] = {}
+        self._by_component: Dict[str, List[TraceRecord]] = {}
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the simulated clock used to timestamp records."""
@@ -107,10 +137,19 @@ class TraceLog:
     def emit(self, category: str, component: str, event: str, **detail: Any) -> TraceRecord:
         """Append a record stamped with the current simulated time."""
         time = self._clock() if self._clock is not None else 0.0
-        record = TraceRecord(time=time, category=category, component=component, event=event, detail=dict(detail))
+        record = TraceRecord(time=time, category=category, component=component, event=event, detail=detail)
         self.records.append(record)
-        for callback in self._subscribers:
-            callback(record)
+        index = self._by_category.get(category)
+        if index is None:
+            index = self._by_category[category] = []
+        index.append(record)
+        index = self._by_component.get(component)
+        if index is None:
+            index = self._by_component[component] = []
+        index.append(record)
+        if self._subscribers:
+            for callback in self._subscribers:
+                callback(record)
         return record
 
     # -- queries ---------------------------------------------------------
@@ -129,9 +168,16 @@ class TraceLog:
         exactly at *until* is excluded, so adjacent windows tile the
         timeline without double-counting.
         """
+        candidates: List[TraceRecord] = self.records
+        if category is not None:
+            candidates = self._by_category.get(category, [])
+        if component is not None:
+            by_component = self._by_component.get(component, [])
+            if len(by_component) < len(candidates):
+                candidates = by_component
         return [
             record
-            for record in self.records
+            for record in candidates
             if (category is None or record.category == category)
             and (component is None or record.component == component)
             and (event is None or record.event == event)

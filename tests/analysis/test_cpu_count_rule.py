@@ -1,0 +1,35 @@
+"""DET006 must cover os.cpu_count: the executor's worker-count read is
+ambient host state, legal only at its one sanctioned, suppressed site."""
+
+from __future__ import annotations
+
+from repro.analysis import determinism
+
+from tests.analysis.util import analyze, rule_ids
+
+
+def test_cpu_count_fires_as_ambient_io():
+    findings = analyze(
+        """
+        import os
+
+        def workers():
+            return os.cpu_count()
+        """,
+        determinism.run,
+    )
+    assert rule_ids(findings) == ["DET006"]
+    assert "os.cpu_count" in findings[0].message
+
+
+def test_cpu_count_suppressible_at_the_sanctioned_site():
+    findings = analyze(
+        """
+        import os
+
+        def workers():
+            return os.cpu_count() or 1  # oftt-lint: ok[ambient-io]
+        """,
+        determinism.run,
+    )
+    assert findings == []

@@ -1,0 +1,56 @@
+"""The repro.bench/v1 contract: deterministic view, rendering, numbering."""
+
+from __future__ import annotations
+
+import json
+
+from repro.bench.benches import bench_kernel_events, bench_trace_emits
+from repro.bench.report import SCHEMA, build_report, deterministic_view, next_bench_path, render_json
+
+
+def _report(benches):
+    return build_report(benches, profile="quick", jobs=2,
+                        host={"cpu_count": 1, "python": "3.11", "platform": "linux"})
+
+
+def test_render_json_is_canonical():
+    rendered = render_json(_report([]))
+    assert rendered.endswith("\n")
+    payload = json.loads(rendered)
+    assert payload["schema"] == SCHEMA
+    assert list(payload) == sorted(payload)
+
+
+def test_deterministic_view_strips_measured_and_host():
+    bench = {"name": "x", "work": {"n": 3}, "measured": {"wall_s": 0.5}}
+    view = deterministic_view(_report([bench]))
+    assert "host" not in view
+    assert view["benches"] == [{"name": "x", "work": {"n": 3}}]
+
+
+def test_micro_bench_work_is_byte_stable_across_runs():
+    # The work half of a bench is a pure function of its parameters; only
+    # the measured half may differ between two identical runs.
+    def view(benches):
+        return render_json(deterministic_view(_report(benches)))
+
+    first = view([bench_kernel_events(2_000), bench_trace_emits(2_000)])
+    second = view([bench_kernel_events(2_000), bench_trace_emits(2_000)])
+    assert first == second
+
+
+def test_bench_work_checks_pass():
+    kernel = bench_kernel_events(2_000)
+    assert kernel["work"]["drained"] is True
+    assert kernel["work"]["fired"] == kernel["work"]["scheduled"] - kernel["work"]["cancelled"]
+    trace = bench_trace_emits(2_000)
+    assert trace["work"]["fingerprint_stable"] is True
+    assert trace["work"]["emitted"] == 2_000
+
+
+def test_next_bench_path_numbers_sequentially(tmp_path):
+    assert next_bench_path(str(tmp_path)).endswith("BENCH_1.json")
+    (tmp_path / "BENCH_1.json").write_text("{}")
+    (tmp_path / "BENCH_7.json").write_text("{}")
+    (tmp_path / "BENCH_notes.txt").write_text("ignored")
+    assert next_bench_path(str(tmp_path)).endswith("BENCH_8.json")

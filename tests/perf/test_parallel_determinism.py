@@ -1,0 +1,84 @@
+"""Byte-identity of every --jobs surface: chaos, replay, experiments, sweep.
+
+The executor's whole promise is that worker count is unobservable in the
+output.  These tests render each CLI's report at jobs 1/2/4 and require
+the exact same bytes — including the failing-campaign path, where the
+report embeds a ddmin minimization whose result must not change either.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.cli import campaign
+from repro.chaos.cli import main as chaos_main
+from repro.chaos.report import render_json
+from repro.harness.run_experiments import main as experiments_main
+from repro.perf.cli import main as perf_main
+from repro.perf.sweep import sweep_detectors
+from repro.replay.cli import main as replay_main
+
+
+def _capture(capsys, main, argv):
+    code = main(argv)
+    return code, capsys.readouterr().out
+
+
+def test_chaos_campaign_bytes_stable_across_jobs():
+    reports = {
+        jobs: render_json(campaign(2, 1, 0, jobs=jobs))
+        for jobs in (1, 2, 4)
+    }
+    assert reports[2] == reports[1]
+    assert reports[4] == reports[1]
+
+
+def test_failing_sabotaged_campaign_and_ddmin_stable_across_jobs(capsys):
+    # Seed 0's first generated schedule fails under the self-test
+    # sabotage, so this report includes violations AND the serial ddmin
+    # minimization — the hardest thing to keep jobs-invariant.
+    argv = ["--seeds", "1", "--schedules", "2", "--format", "json",
+            "--sabotage", "disable-dual-primary-resolution"]
+    outputs = {}
+    for jobs in (1, 2, 4):
+        code, out = _capture(capsys, chaos_main, argv + ["--jobs", str(jobs)])
+        assert code == 1  # the sabotage must be caught at every jobs value
+        outputs[jobs] = out
+    assert '"minimization"' in outputs[1]
+    assert outputs[2] == outputs[1]
+    assert outputs[4] == outputs[1]
+
+
+def test_replay_subjects_bytes_stable_across_jobs(capsys):
+    argv = ["demo", "roundtrip-synthetic-selective", "--format", "json"]
+    outputs = {}
+    for jobs in (1, 2):
+        code, out = _capture(capsys, replay_main, argv + ["--jobs", str(jobs)])
+        assert code == 0
+        outputs[jobs] = out
+    assert outputs[2] == outputs[1]
+
+
+def test_run_experiments_bytes_stable_across_jobs(capsys):
+    outputs = {}
+    for jobs in (1, 2):
+        code, out = _capture(capsys, experiments_main, ["F3", "X1", "--jobs", str(jobs)])
+        assert code == 0
+        outputs[jobs] = out
+    assert outputs[2] == outputs[1]
+
+
+def test_sweep_rows_stable_across_jobs():
+    kwargs = dict(thresholds=[2], timeouts=[500.0], seeds=1, schedules=1)
+    assert sweep_detectors(jobs=2, **kwargs) == sweep_detectors(jobs=1, **kwargs)
+
+
+def test_perf_check_chaos_gate_passes(capsys):
+    code, out = _capture(
+        capsys, perf_main,
+        ["check-chaos", "--seeds", "1", "--schedules", "2", "--jobs", "2"],
+    )
+    assert code == 0
+    assert "byte-identical" in out
+
+
+def test_chaos_rejects_unknown_sabotage(capsys):
+    assert chaos_main(["--sabotage", "no-such-hook", "--format", "json"]) == 2

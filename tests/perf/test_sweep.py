@@ -1,0 +1,40 @@
+"""Smoke and shape tests for the detector-sensitivity sweep."""
+
+from __future__ import annotations
+
+from repro.perf.sweep import render_rows, sweep_detectors
+
+
+def small_sweep():
+    return sweep_detectors(thresholds=[1, 2], timeouts=[500.0], seeds=1, schedules=2)
+
+
+def test_rows_follow_grid_order_and_shape():
+    rows = small_sweep()
+    assert [(row["miss_threshold"], row["timeout_ms"]) for row in rows] == [(1, 500.0), (2, 500.0)]
+    for row in rows:
+        assert row["runs"] == 2
+        assert row["detected"] + row["missed"] == row["faults"]
+        assert row["false_positives"] >= 0
+        if row["detected"]:
+            assert row["mean_latency_ms"] <= row["max_latency_ms"]
+        else:
+            assert row["mean_latency_ms"] is None
+
+
+def test_higher_threshold_never_detects_faster():
+    rows = small_sweep()
+    fast, slow = rows[0], rows[1]
+    if fast["detected"] and slow["detected"]:
+        assert slow["mean_latency_ms"] >= fast["mean_latency_ms"]
+
+
+def test_render_rows_text_and_markdown():
+    rows = small_sweep()
+    text = render_rows(rows)
+    assert text.splitlines()[0].startswith("miss_threshold")
+    markdown = render_rows(rows, markdown=True)
+    lines = markdown.splitlines()
+    assert lines[0].startswith("| miss_threshold")
+    assert set(lines[1]) <= {"|", "-"}
+    assert len(lines) == 2 + len(rows)
