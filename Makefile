@@ -5,22 +5,31 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest perf-gate bench verify
+.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest perf-gate bench bench-diff verify
 
 test:
 	$(PY) -m pytest -x -q
 
+# The interprocedural effects pass (--effects: call-graph race
+# propagation + parallel_map purity) is on for the lint gates; the
+# planted-defect corpus that proves it works is gated by
+# tests/analysis/test_effects_corpus.py under `make test`.
 lint:
-	$(PY) -m repro.analysis src/repro --strict
+	$(PY) -m repro.analysis src/repro --strict --effects
 
 # Tests are linted with the per-directory profile: the ambient DET rules
 # (unseeded randomness, entropy, environment reads) are relaxed because
-# property-style tests and CLI fixtures use them deliberately.
+# property-style tests and CLI fixtures use them deliberately, and the
+# PURE rules because test tasks exercise impurity on purpose.  The
+# planted-defect corpus additionally violates both race families by
+# design.
 lint-tests:
-	$(PY) -m repro.analysis tests --strict --relax tests=DET002,DET003,DET006
+	$(PY) -m repro.analysis tests --strict --effects \
+		--relax tests=DET002,DET003,DET006,PURE001,PURE002,PURE003,PURE004 \
+		--relax tests/analysis/corpus=RACE001,RACE002,RACE003,RACE101,RACE102,RACE103
 
 lint-json:
-	$(PY) -m repro.analysis src/repro --strict --format json
+	$(PY) -m repro.analysis src/repro --strict --effects --format json
 
 replay:
 	$(PY) -m repro.replay --gate
@@ -51,4 +60,10 @@ perf-gate:
 bench:
 	$(PY) -m repro.bench --profile quick --jobs 2 --save
 
-verify: test lint lint-tests replay chaos chaos-selftest perf-gate
+# Compare the two newest saved reports: work halves must be
+# byte-identical, measured halves within the noise threshold.  A single
+# baseline (fresh clone) is a clean no-op.
+bench-diff:
+	$(PY) -m repro.bench diff --latest
+
+verify: test lint lint-tests replay chaos chaos-selftest perf-gate bench-diff

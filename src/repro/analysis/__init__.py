@@ -9,14 +9,20 @@ replay or the marshalling contract.  This package machine-checks both,
 plus a third hazard class — same-timestamp event handlers whose relative
 order is fixed only by the kernel's sequence-number tiebreak.
 
-Three passes run over the source tree (``python -m repro.analysis src/repro``):
+Four passes run over the source tree (``python -m repro.analysis src/repro``):
 
 * :mod:`repro.analysis.determinism` — wall-clock, ambient entropy,
   unordered fan-out, and other seed-replay hazards (``DET*`` rules).
 * :mod:`repro.analysis.comcheck` — ``ComObject`` subclasses cross-checked
   against their ``InterfaceDecl``s, HRESULT discipline (``COM*`` rules).
 * :mod:`repro.analysis.races` — approximate read/write sets for scheduled
-  callbacks that can tie at equal sim time (``RACE*`` rules).
+  callbacks that can tie at equal sim time (``RACE001–004``).
+* :mod:`repro.analysis.effects` — whole-program layer (``--effects``): a
+  call graph (:mod:`repro.analysis.callgraph`) plus per-function effect
+  summaries propagated with k-bounded inlining
+  (:mod:`repro.analysis.summaries`) drive interprocedural race rules
+  (``RACE101–103``, reported with the full call chain) and purity checks
+  for ``parallel_map`` tasks (``PURE001–004``).
 
 Findings carry a rule id, slug, severity and ``file:line``; deliberate
 violations are silenced in place with ``# oftt-lint: ok[slug]`` comments
@@ -28,6 +34,14 @@ from __future__ import annotations
 
 from repro.analysis.findings import Finding, Rule, Severity, all_rules, rule
 from repro.analysis.walker import SourceFile, load_sources, run_passes
+
+# Importing the pass modules registers their rules, so suppression
+# parsing (`is_known`) has the complete catalogue no matter which entry
+# point loaded this package.
+from repro.analysis import comcheck as _comcheck  # noqa: F401  (registers COM*)
+from repro.analysis import determinism as _determinism  # noqa: F401  (registers DET*)
+from repro.analysis import effects as _effects  # noqa: F401  (registers RACE1xx/PURE*)
+from repro.analysis import races as _races  # noqa: F401  (registers RACE00x)
 
 __all__ = [
     "Finding",

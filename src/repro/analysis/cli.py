@@ -8,10 +8,12 @@ Exit-code contract (relied on by ``make verify`` and the dogfood test):
 
 Examples::
 
-    python -m repro.analysis src/repro                # all passes, text
+    python -m repro.analysis src/repro                # default passes, text
+    python -m repro.analysis src/repro --effects      # + interprocedural effects
     python -m repro.analysis src/repro --format json  # machine output
     python -m repro.analysis src examples --passes det,race --strict
     python -m repro.analysis src tests --relax tests=DET002,DET006
+    python -m repro.analysis src/repro --effects --max-k 1   # cheaper fixpoint
     oftt-lint --list-rules
 
 ``--relax PREFIX=RULE[,RULE...]`` (repeatable) is the per-directory rule
@@ -30,17 +32,23 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis import comcheck, determinism, races
+from repro.analysis import comcheck, determinism, effects, races
 from repro.analysis.findings import AnalysisError, Finding, Severity, all_rules, lookup
 from repro.analysis.report import render_json, render_text
 from repro.analysis.walker import Pass, load_sources, run_passes
 
-#: Registered passes, in execution order.
+#: Registered passes, in execution order.  ``effects`` is opt-in via
+#: ``--effects`` (or an explicit ``--passes`` entry) because it is the
+#: one whole-program pass; ``make lint`` turns it on.
 PASSES: Dict[str, Pass] = {
     "det": determinism.run,
     "com": comcheck.run,
     "race": races.run,
+    "effects": effects.run,
 }
+
+#: Passes run when ``--passes`` is not given.
+DEFAULT_PASSES = "det,com,race"
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -50,8 +58,15 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse (default: src/repro)")
-    parser.add_argument("--passes", default="det,com,race", metavar="NAMES",
-                        help="comma-separated subset of det,com,race (default: all)")
+    parser.add_argument("--passes", default=DEFAULT_PASSES, metavar="NAMES",
+                        help="comma-separated subset of det,com,race,effects "
+                             f"(default: {DEFAULT_PASSES})")
+    parser.add_argument("--effects", action="store_true",
+                        help="also run the interprocedural effects pass "
+                             "(RACE101-103 handler races, PURE001-004 parallel_map purity)")
+    parser.add_argument("--max-k", type=int, default=effects.DEFAULT_MAX_K, metavar="N",
+                        help="inlining depth for the effects pass: effects propagate "
+                             f"through at most N call hops (default: {effects.DEFAULT_MAX_K})")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="report format (default: text)")
     parser.add_argument("--json", action="store_const", const="json", dest="format",
@@ -122,12 +137,19 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 0
 
     pass_names = [name.strip() for name in options.passes.split(",") if name.strip()]
+    if options.effects and "effects" not in pass_names:
+        pass_names.append("effects")
     try:
+        if options.max_k < 0:
+            raise AnalysisError(f"--max-k must be >= 0, got {options.max_k}")
         selected: List[Pass] = []
         for name in pass_names:
             if name not in PASSES:
                 raise AnalysisError(f"unknown pass {name!r} (choose from {', '.join(PASSES)})")
-            selected.append(PASSES[name])
+            if name == "effects":
+                selected.append(effects.make_pass(options.max_k))
+            else:
+                selected.append(PASSES[name])
         relaxations = parse_relaxations(options.relax)
         files, load_findings = load_sources(options.paths or ["src/repro"])
     except AnalysisError as exc:

@@ -52,7 +52,9 @@ LOOP_CAPTURE = rule(
 )
 
 #: Method names through which a callable becomes an event handler.
-_REGISTRARS = {"schedule", "add_callback", "bind", "spawn", "on_message", "subscribe"}
+#: Shared with the interprocedural effects pass (RACE101–103), which
+#: must agree with this pass on what counts as a same-tick handler.
+REGISTRARS = {"schedule", "add_callback", "bind", "spawn", "on_message", "subscribe"}
 
 #: Container mutators treated as writes to the container attribute.
 _MUTATORS = {
@@ -125,7 +127,13 @@ def _method_effects(func: ast.FunctionDef) -> _Effects:
 
 
 @dataclass
-class _ClassModel:
+class ClassModel:
+    """One class with its methods and the subset registered as handlers.
+
+    Public because the effects pass (:mod:`repro.analysis.effects`)
+    reuses the same handler attribution for its interprocedural rules.
+    """
+
     name: str
     path: str
     methods: Dict[str, ast.FunctionDef] = field(default_factory=dict)
@@ -142,15 +150,16 @@ def _callback_method_name(node: ast.AST) -> Optional[str]:
     return None
 
 
-def _collect_models(files: Sequence[SourceFile]) -> List[_ClassModel]:
-    models: List[_ClassModel] = []
+def collect_models(files: Sequence[SourceFile]) -> List[ClassModel]:
+    """Per-class handler models, in file order (shared with effects)."""
+    models: List[ClassModel] = []
     for source_file in files:
         if source_file.tree is None:
             continue
         for node in ast.walk(source_file.tree):
             if not isinstance(node, ast.ClassDef):
                 continue
-            model = _ClassModel(node.name, source_file.path)
+            model = ClassModel(node.name, source_file.path)
             for stmt in node.body:
                 if isinstance(stmt, ast.FunctionDef):
                     model.methods[stmt.name] = stmt
@@ -161,7 +170,7 @@ def _collect_models(files: Sequence[SourceFile]) -> List[_ClassModel]:
                     if not isinstance(call, ast.Call):
                         continue
                     callee = dotted_name(call.func)
-                    if callee is None or callee.split(".")[-1] not in _REGISTRARS:
+                    if callee is None or callee.split(".")[-1] not in REGISTRARS:
                         continue
                     for arg in list(call.args) + [kw.value for kw in call.keywords]:
                         name = _callback_method_name(arg)
@@ -188,7 +197,7 @@ def _check_loop_capture(source_file: SourceFile) -> List[Finding]:
             if not isinstance(node, ast.Call):
                 continue
             callee = dotted_name(node.func)
-            if callee is None or callee.split(".")[-1] not in _REGISTRARS:
+            if callee is None or callee.split(".")[-1] not in REGISTRARS:
                 continue
             for arg in node.args:
                 if not isinstance(arg, ast.Lambda):
@@ -215,7 +224,7 @@ def run(files: Sequence[SourceFile]) -> List[Finding]:
     for source_file in files:
         findings.extend(_check_loop_capture(source_file))
 
-    for model in _collect_models(files):
+    for model in collect_models(files):
         if len(model.handlers) < 2:
             continue
         effects = {name: _method_effects(model.methods[name]) for name in sorted(model.handlers)}

@@ -75,6 +75,11 @@ def load_sources(paths: Sequence[str]) -> Tuple[List[SourceFile], List[Finding]]
                 source = handle.read()
             suppressions = parse_suppressions(filename, source)
             if suppressions.skip_file:
+                # The file is excluded from every pass, but its own
+                # suppression mistakes must still surface: a misspelled
+                # rule in a standalone `file-ok`/`skip-file` comment
+                # would otherwise rot silently (GEN002).
+                findings.extend(suppressions.errors)
                 continue
             try:
                 tree = ast.parse(source, filename=filename)

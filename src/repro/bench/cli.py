@@ -7,6 +7,13 @@ repo root (or use ``--out PATH`` for an explicit destination)::
     oftt-bench                            # quick profile, report to stdout
     oftt-bench --profile full --jobs 4 --save
     python -m repro.bench --out /tmp/bench.json
+
+The ``diff`` subcommand compares two saved reports — deterministic
+``work`` halves byte-for-byte, ``measured`` halves against a noise
+threshold (see :mod:`repro.bench.diff`)::
+
+    oftt-bench diff BENCH_1.json BENCH_2.json
+    oftt-bench diff --latest --threshold 0.10   # two newest in --root
 """
 
 from __future__ import annotations
@@ -18,6 +25,7 @@ import sys
 from typing import Any, Dict, Optional, Sequence
 
 # oftt-lint: file-ok[ambient-io] -- the bench driver reads host facts and writes reports.
+from repro.bench import diff as diff_mod
 from repro.bench.benches import PROFILES, run_benches
 from repro.bench.report import build_report, next_bench_path, render_json
 from repro.perf.executor import add_jobs_argument
@@ -48,8 +56,61 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_diff_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="oftt-bench diff",
+        description="Compare two saved bench reports: work byte-identical, "
+                    "measured within a noise threshold.",
+    )
+    parser.add_argument("reports", nargs="*", metavar="REPORT",
+                        help="two BENCH_<n>.json paths, oldest first")
+    parser.add_argument("--latest", action="store_true",
+                        help="compare the two highest-numbered BENCH_<n>.json in --root")
+    parser.add_argument("--root", default=".",
+                        help="directory --latest searches (default: current directory)")
+    parser.add_argument("--threshold", type=float, default=diff_mod.DEFAULT_THRESHOLD,
+                        metavar="FRACTION",
+                        help="relative move in the bad direction that counts as a "
+                             f"regression (default: {diff_mod.DEFAULT_THRESHOLD})")
+    return parser
+
+
+def diff_main(argv: Sequence[str]) -> int:
+    options = build_diff_parser().parse_args(argv)
+    try:
+        if options.threshold < 0:
+            raise diff_mod.BenchDiffError(f"--threshold must be >= 0, got {options.threshold}")
+        if options.latest:
+            if options.reports:
+                raise diff_mod.BenchDiffError("--latest takes no positional reports")
+            pair = diff_mod.latest_pair(options.root)
+            if pair is None:
+                # A fresh history has one baseline; nothing to compare is
+                # not a failure.
+                print(f"bench diff: fewer than two BENCH_<n>.json in {options.root}; nothing to compare")
+                return 0
+            old_path, new_path = pair
+        elif len(options.reports) == 2:
+            old_path, new_path = options.reports
+        else:
+            raise diff_mod.BenchDiffError("expected exactly two reports (or --latest)")
+        old = diff_mod.load_report(old_path)
+        new = diff_mod.load_report(new_path)
+    except diff_mod.BenchDiffError as exc:
+        print(f"oftt-bench diff: {exc}", file=sys.stderr)
+        return 2
+    text, code = diff_mod.render_diff(
+        old_path, new_path, diff_mod.diff_reports(old, new), options.threshold
+    )
+    print(text)
+    return code
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
-    options = build_parser().parse_args(argv)
+    arguments = list(sys.argv[1:] if argv is None else argv)
+    if arguments and arguments[0] == "diff":
+        return diff_main(arguments[1:])
+    options = build_parser().parse_args(arguments)
     benches = run_benches(profile=options.profile, jobs=options.jobs)
     report = build_report(benches, profile=options.profile, jobs=options.jobs, host=host_facts())
     rendered = render_json(report)

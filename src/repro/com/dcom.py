@@ -205,7 +205,12 @@ class DcomExporter:
 
     # -- wire handling --------------------------------------------------------
 
-    def _on_message(self, message: Message) -> None:
+    # Reply-vs-timeout at the same tick is arbitrated by the _pending.pop
+    # handshake: whichever handler runs first claims the call exactly
+    # once and the loser sees None.  Either outcome is a valid protocol
+    # result, so the interprocedural write-write (via _handle_reply) is
+    # the designed behaviour.
+    def _on_message(self, message: Message) -> None:  # oftt-lint: ok[ip-race-write-write]
         payload = message.payload
         kind = payload.get("kind")
         if kind == "request":

@@ -275,7 +275,9 @@ class QueueManager:
 
     # Same-tick with _retry_pass_once is benign: _transmit advances
     # next_retry_at, so whichever pass runs second skips the entry.
-    def _retry_pass(self) -> None:  # oftt-lint: ok[race-write-read]
+    # The shared stats counters bumped via _transmit/_dead_letter are
+    # += increments, which commute across same-tick retry passes.
+    def _retry_pass(self) -> None:  # oftt-lint: ok[race-write-read,ip-race-write-write]
         current_handler = self.node.handler_for(MSQ_PORT)
         if current_handler is not None and current_handler is not self._bound_handler:
             # A newer queue manager replaced us (node reinstall): retire.

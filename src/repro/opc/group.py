@@ -232,7 +232,13 @@ class OpcGroup(ComObject):
         ping = self.server.runtime.exporter.check_liveness(self._sink_remote)
         ping.add_callback(self._on_ping_result)
 
-    def _on_ping_result(self, waitable: Any) -> None:
+    # Ping-GC teardown vs in-flight completions at the same tick is
+    # reviewed-benign: _collect -> clear_callback clears the sinks and
+    # sets `collected`, and every completion path (_complete_read/
+    # _complete_write -> _dispatch, _ping_sink) re-checks both before
+    # touching them.  Whichever side the seq tiebreak runs first, the
+    # outcome is a valid protocol state and deterministic per seed.
+    def _on_ping_result(self, waitable: Any) -> None:  # oftt-lint: ok[ip-race-write-read,ip-race-write-write]
         if self.collected or self._sink_remote is None:
             return
         result = waitable.value

@@ -123,7 +123,10 @@ class Process(Waitable):
 
     # The _waiting_on handshake with _step IS the stale-resume guard;
     # the same-tick write/read below is the designed protocol.
-    def _on_wait_fired(self, waitable: Waitable) -> None:  # oftt-lint: ok[race-write-read]
+    # The interprocedural write-writes (alive/error/_value/... via
+    # _step -> _fire from both entry points) are the same protocol:
+    # _step is re-entered only through the _waiting_on guard.
+    def _on_wait_fired(self, waitable: Waitable) -> None:  # oftt-lint: ok[race-write-read,ip-race-write-write]
         if self._waiting_on is waitable:
             self._waiting_on = None
             self._step(waitable.value)

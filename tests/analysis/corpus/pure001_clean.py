@@ -1,0 +1,13 @@
+"""Clean twin of pure001: the task accumulates locally and returns."""
+
+from repro.perf.executor import parallel_map
+
+
+def record(value):
+    totals = []
+    totals.append(value)
+    return totals[0]
+
+
+def main(values):
+    return parallel_map(record, values, jobs=2)

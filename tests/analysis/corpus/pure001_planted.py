@@ -1,0 +1,18 @@
+"""Planted PURE001: the task accumulates into a module-level container.
+
+Each spawn worker appends to its own copy of ``TOTALS``, so the merged
+result no longer matches the serial run.
+"""
+
+from repro.perf.executor import parallel_map
+
+TOTALS = []
+
+
+def record(value):
+    TOTALS.append(value)
+    return value
+
+
+def main(values):
+    return parallel_map(record, values, jobs=2)  # expect: PURE001

@@ -1,0 +1,11 @@
+"""Clean twin of pure002: the task is a module-level function."""
+
+from repro.perf.executor import parallel_map
+
+
+def double(value):
+    return value * 2
+
+
+def main(values):
+    return parallel_map(double, values)

@@ -1,0 +1,8 @@
+"""Planted PURE002: the task is a lambda, which spawn workers cannot
+pickle by reference."""
+
+from repro.perf.executor import parallel_map
+
+
+def main(values):
+    return parallel_map(lambda v: v * 2, values)  # expect: PURE002

@@ -1,0 +1,14 @@
+"""Clean twin of pure003: a seeded private RNG, derived per item."""
+
+import random
+
+from repro.perf.executor import parallel_map
+
+
+def sample(value, seed=0):
+    rng = random.Random(seed)
+    return value + rng.random()
+
+
+def main(values):
+    return parallel_map(sample, values)

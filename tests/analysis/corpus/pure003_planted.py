@@ -1,0 +1,14 @@
+"""Planted PURE003: the task draws from the global RNG and offers no
+seed parameter, so workers and reruns diverge."""
+
+import random
+
+from repro.perf.executor import parallel_map
+
+
+def sample(value):
+    return value + random.random()
+
+
+def main(values):
+    return parallel_map(sample, values)  # expect: PURE003

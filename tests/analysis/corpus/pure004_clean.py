@@ -1,0 +1,13 @@
+"""Clean twin of pure004: the task copies its argument before touching it."""
+
+from repro.perf.executor import parallel_map
+
+
+def consume(batch):
+    out = list(batch)
+    out.append("done")
+    return len(out)
+
+
+def main(batches):
+    return parallel_map(consume, batches)

@@ -1,0 +1,16 @@
+"""Planted PURE004: the task mutates its argument in place.
+
+Workers mutate pickled copies, so the caller-visible effect depends on
+the worker count.
+"""
+
+from repro.perf.executor import parallel_map
+
+
+def consume(batch):
+    batch.append("done")
+    return len(batch)
+
+
+def main(batches):
+    return parallel_map(consume, batches)  # expect: PURE004

@@ -1,0 +1,21 @@
+"""Clean twin of race101: both writes are direct.
+
+This is RACE001 territory — the effects pass must stay silent so the
+conflict is reported (and suppressible) exactly once.
+"""
+
+
+class Widget:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.state = 0
+
+    def start(self):
+        self.kernel.schedule(5.0, self.on_tick)
+        self.kernel.schedule(5.0, self.on_poll)
+
+    def on_poll(self):
+        self.state = 2
+
+    def on_tick(self):
+        self.state = 1

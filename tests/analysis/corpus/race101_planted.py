@@ -1,0 +1,24 @@
+"""Planted RACE101: same-tick write-write hidden behind a helper call.
+
+``on_poll`` writes ``self.state`` directly; ``on_tick`` writes it only
+through ``_bump``, so the intraprocedural pass sees a single writer.
+"""
+
+
+class Widget:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.state = 0
+
+    def start(self):
+        self.kernel.schedule(5.0, self.on_tick)
+        self.kernel.schedule(5.0, self.on_poll)
+
+    def on_poll(self):  # expect: RACE101
+        self.state = 2
+
+    def on_tick(self):
+        self._bump()
+
+    def _bump(self):
+        self.state = 1

@@ -1,0 +1,20 @@
+"""Clean twin of race102: writer and reader are both direct.
+
+RACE002 territory — the effects pass must not echo it.
+"""
+
+
+class Gauge:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.reading = 0
+
+    def start(self):
+        self.kernel.schedule(1.0, self.on_update)
+        self.kernel.schedule(1.0, self.on_report)
+
+    def on_update(self):
+        self.reading = 42
+
+    def on_report(self):
+        return self.reading

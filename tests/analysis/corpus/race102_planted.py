@@ -1,0 +1,24 @@
+"""Planted RACE102: a handler reads what another writes via a helper.
+
+``on_update`` refreshes ``self.reading`` through ``_refresh``;
+``on_report`` reads it in the same tick.
+"""
+
+
+class Gauge:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.reading = 0
+
+    def start(self):
+        self.kernel.schedule(1.0, self.on_update)
+        self.kernel.schedule(1.0, self.on_report)
+
+    def on_update(self):  # expect: RACE102
+        self._refresh()
+
+    def _refresh(self):
+        self.reading = 42
+
+    def on_report(self):
+        return self.reading

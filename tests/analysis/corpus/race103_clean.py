@@ -1,0 +1,23 @@
+"""Clean twin of race103: mutation and iteration both direct.
+
+RACE003 territory — the effects pass must not echo it.
+"""
+
+
+class Spool:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.items = []
+
+    def start(self):
+        self.kernel.schedule(2.0, self.on_flush)
+        self.kernel.schedule(2.0, self.on_scan)
+
+    def on_flush(self):
+        self.items.append(1)
+
+    def on_scan(self):
+        total = 0
+        for item in self.items:
+            total += item
+        return total

@@ -1,0 +1,27 @@
+"""Planted RACE103: helper-level container mutation vs direct iteration.
+
+``on_flush`` appends to ``self.items`` through ``_drain`` while
+``on_scan`` iterates the same list in the same tick.
+"""
+
+
+class Spool:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.items = []
+
+    def start(self):
+        self.kernel.schedule(2.0, self.on_flush)
+        self.kernel.schedule(2.0, self.on_scan)
+
+    def on_flush(self):  # expect: RACE103
+        self._drain()
+
+    def _drain(self):
+        self.items.append(1)
+
+    def on_scan(self):
+        total = 0
+        for item in self.items:
+            total += item
+        return total

@@ -113,8 +113,65 @@ def test_strict_gates_on_warnings(tmp_path, capsys):
 def test_list_rules_catalogue(capsys):
     code, out = run_cli(["--list-rules"], capsys)
     assert code == 0
-    for rule_id in ("DET001", "DET004", "COM001", "COM004", "RACE001", "RACE004", "GEN001", "GEN002"):
+    for rule_id in (
+        "DET001", "DET004", "COM001", "COM004", "RACE001", "RACE004",
+        "RACE101", "RACE102", "RACE103",
+        "PURE001", "PURE002", "PURE003", "PURE004",
+        "GEN001", "GEN002",
+    ):
         assert rule_id in out
+
+
+def test_effects_flag_appends_the_effects_pass(tmp_path, capsys):
+    bad = tmp_path / "impure.py"
+    bad.write_text(
+        "from repro.perf.executor import parallel_map\n"
+        "\n"
+        "SEEN = []\n"
+        "\n"
+        "\n"
+        "def record(v):\n"
+        "    SEEN.append(v)\n"
+        "    return v\n"
+        "\n"
+        "\n"
+        "def main(vs):\n"
+        "    return parallel_map(record, vs)\n",
+        encoding="utf-8",
+    )
+    default_code, default_out = run_cli([str(bad)], capsys)
+    effects_code, effects_out = run_cli([str(bad), "--effects"], capsys)
+    assert default_code == 0 and "PURE001" not in default_out
+    assert effects_code == 1 and "PURE001" in effects_out
+    assert "passes: det, com, race, effects" in effects_out
+
+
+def test_max_k_zero_disables_propagation(tmp_path, capsys):
+    racy = tmp_path / "chained.py"
+    racy.write_text(
+        "class Widget:\n"
+        "    def start(self):\n"
+        "        self.kernel.schedule(1.0, self.on_a)\n"
+        "        self.kernel.schedule(1.0, self.on_b)\n"
+        "\n"
+        "    def on_a(self):\n"
+        "        self._set()\n"
+        "\n"
+        "    def _set(self):\n"
+        "        self.state = 1\n"
+        "\n"
+        "    def on_b(self):\n"
+        "        self.state = 2\n",
+        encoding="utf-8",
+    )
+    deep, deep_out = run_cli([str(racy), "--passes", "effects", "--strict"], capsys)
+    shallow, _ = run_cli([str(racy), "--passes", "effects", "--strict", "--max-k", "0"], capsys)
+    assert deep == 1 and "RACE101" in deep_out
+    assert shallow == 0
+
+
+def test_negative_max_k_is_a_usage_error(capsys):
+    assert main([SRC_REPRO, "--effects", "--max-k", "-1"]) == 2
 
 
 def test_syntax_error_is_reported_not_crashed(tmp_path, capsys):
@@ -173,9 +230,16 @@ def test_relax_bad_spec_and_unknown_rule_are_usage_errors(capsys):
 
 
 def test_tests_tree_is_clean_under_the_test_profile(capsys):
+    # Mirrors `make lint-tests`: the planted-defect corpus legitimately
+    # violates the race and purity rules, so those are relaxed for it.
     tests_dir = os.path.join(REPO_ROOT, "tests")
+    corpus_dir = os.path.join(tests_dir, "analysis", "corpus")
     code, out = run_cli(
-        [tests_dir, "--strict", "--relax", f"{tests_dir}=DET002,DET003,DET006"],
+        [
+            tests_dir, "--strict", "--effects",
+            "--relax", f"{tests_dir}=DET002,DET003,DET006,PURE001,PURE002,PURE003,PURE004",
+            "--relax", f"{corpus_dir}=RACE001,RACE002,RACE003,RACE101,RACE102,RACE103",
+        ],
         capsys,
     )
     assert code == 0, f"tests/ lint failed under the relaxed profile:\n{out}"

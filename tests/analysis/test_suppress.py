@@ -7,6 +7,7 @@ import json
 from repro.analysis import determinism, races
 from repro.analysis.findings import Severity
 from repro.analysis.report import JSON_SCHEMA, render_json, render_text, severity_counts
+from repro.analysis.walker import load_sources
 
 from tests.analysis.util import analyze, make_file, rule_ids
 
@@ -120,6 +121,23 @@ def test_unknown_rule_in_suppression_is_reported():
     )
     # GEN002 for the bad annotation AND the original DET001 still fires.
     assert sorted(rule_ids(findings)) == ["DET001", "GEN002"]
+
+
+def test_misspelled_rule_in_a_skipped_file_still_surfaces(tmp_path):
+    # Regression (GEN002): load_sources used to drop skip-file'd files
+    # together with their own suppression errors, so a misspelled rule
+    # in a standalone file-ok comment rotted silently.
+    skipped = tmp_path / "skipped.py"
+    skipped.write_text(
+        "# oftt-lint: skip-file\n"
+        "# oftt-lint: file-ok[RACE110]\n"
+        "import time\n",
+        encoding="utf-8",
+    )
+    files, findings = load_sources([str(skipped)])
+    assert files == []  # still excluded from every pass
+    assert rule_ids(findings) == ["GEN002"]
+    assert "RACE110" in findings[0].message
 
 
 def test_directive_inside_string_literal_is_inert():
