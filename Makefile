@@ -11,11 +11,15 @@ test:
 	$(PY) -m pytest -x -q
 
 # The interprocedural effects pass (--effects: call-graph race
-# propagation + parallel_map purity) is on for the lint gates; the
-# planted-defect corpus that proves it works is gated by
-# tests/analysis/test_effects_corpus.py under `make test`.
+# propagation + parallel_map purity) and the hot-path pass (--hotpath:
+# HOT001-HOT006 over the roots in src/repro/analysis/hotpath.manifest)
+# are on for the lint gates; the planted-defect corpora that prove they
+# work are gated by tests/analysis/test_effects_corpus.py and
+# tests/analysis/test_hotpath_corpus.py under `make test`.  Results are
+# cached in .oftt-lint-cache.json (keyed by content hash + rule-set
+# version); pass --no-cache to force a cold run.
 lint:
-	$(PY) -m repro.analysis src/repro --strict --effects
+	$(PY) -m repro.analysis src/repro --strict --effects --hotpath
 
 # Tests are linted with the per-directory profile: the ambient DET rules
 # (unseeded randomness, entropy, environment reads) are relaxed because
@@ -24,12 +28,12 @@ lint:
 # planted-defect corpus additionally violates both race families by
 # design.
 lint-tests:
-	$(PY) -m repro.analysis tests --strict --effects \
+	$(PY) -m repro.analysis tests --strict --effects --hotpath \
 		--relax tests=DET002,DET003,DET006,PURE001,PURE002,PURE003,PURE004 \
 		--relax tests/analysis/corpus=RACE001,RACE002,RACE003,RACE101,RACE102,RACE103
 
 lint-json:
-	$(PY) -m repro.analysis src/repro --strict --effects --format json
+	$(PY) -m repro.analysis src/repro --strict --effects --hotpath --format json
 
 replay:
 	$(PY) -m repro.replay --gate

@@ -32,19 +32,21 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis import comcheck, determinism, effects, races
+from repro.analysis import cache, comcheck, determinism, effects, hotpath, races
 from repro.analysis.findings import AnalysisError, Finding, Severity, all_rules, lookup
 from repro.analysis.report import render_json, render_text
-from repro.analysis.walker import Pass, load_sources, run_passes
+from repro.analysis.walker import Pass, load_sources, run_passes, suppression_errors
 
-#: Registered passes, in execution order.  ``effects`` is opt-in via
-#: ``--effects`` (or an explicit ``--passes`` entry) because it is the
-#: one whole-program pass; ``make lint`` turns it on.
+#: Registered passes, in execution order.  ``effects`` and ``hot`` are
+#: opt-in via ``--effects``/``--hotpath`` (or explicit ``--passes``
+#: entries) because they are whole-program passes; ``make lint`` turns
+#: both on.
 PASSES: Dict[str, Pass] = {
     "det": determinism.run,
     "com": comcheck.run,
     "race": races.run,
     "effects": effects.run,
+    "hot": hotpath.run,
 }
 
 #: Passes run when ``--passes`` is not given.
@@ -59,14 +61,25 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse (default: src/repro)")
     parser.add_argument("--passes", default=DEFAULT_PASSES, metavar="NAMES",
-                        help="comma-separated subset of det,com,race,effects "
+                        help="comma-separated subset of det,com,race,effects,hot "
                              f"(default: {DEFAULT_PASSES})")
     parser.add_argument("--effects", action="store_true",
                         help="also run the interprocedural effects pass "
                              "(RACE101-103 handler races, PURE001-004 parallel_map purity)")
+    parser.add_argument("--hotpath", action="store_true",
+                        help="also run the hot-path pass (HOT001-006 per-event waste "
+                             "in functions reachable from the hot-root manifest)")
+    parser.add_argument("--hot-manifest", default=None, metavar="PATH",
+                        help="hot-root manifest for the hotpath pass "
+                             "(default: the checked-in repro/analysis/hotpath.manifest)")
     parser.add_argument("--max-k", type=int, default=effects.DEFAULT_MAX_K, metavar="N",
-                        help="inlining depth for the effects pass: effects propagate "
-                             f"through at most N call hops (default: {effects.DEFAULT_MAX_K})")
+                        help="inlining depth for the effects/hotpath passes: effects and "
+                             "hotness propagate through at most N call hops "
+                             f"(default: {effects.DEFAULT_MAX_K})")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="bypass the on-disk result cache (always re-analyse)")
+    parser.add_argument("--cache-path", default=cache.DEFAULT_PATH, metavar="PATH",
+                        help=f"result cache location (default: {cache.DEFAULT_PATH})")
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="report format (default: text)")
     parser.add_argument("--json", action="store_const", const="json", dest="format",
@@ -139,24 +152,38 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     pass_names = [name.strip() for name in options.passes.split(",") if name.strip()]
     if options.effects and "effects" not in pass_names:
         pass_names.append("effects")
+    if options.hotpath and "hot" not in pass_names:
+        pass_names.append("hot")
     try:
         if options.max_k < 0:
             raise AnalysisError(f"--max-k must be >= 0, got {options.max_k}")
-        selected: List[Pass] = []
+        named: List[Tuple[str, Pass]] = []
         for name in pass_names:
             if name not in PASSES:
                 raise AnalysisError(f"unknown pass {name!r} (choose from {', '.join(PASSES)})")
             if name == "effects":
-                selected.append(effects.make_pass(options.max_k))
+                named.append((name, effects.make_pass(options.max_k)))
+            elif name == "hot":
+                named.append((name, hotpath.make_pass(options.max_k, options.hot_manifest)))
             else:
-                selected.append(PASSES[name])
+                named.append((name, PASSES[name]))
         relaxations = parse_relaxations(options.relax)
+        manifest_digest = ""
+        if "hot" in pass_names:
+            # Editing the manifest must invalidate cached hot findings.
+            manifest_digest = cache.file_digest(options.hot_manifest or hotpath.DEFAULT_MANIFEST)
         files, load_findings = load_sources(options.paths or ["src/repro"])
     except AnalysisError as exc:
         print(f"oftt-lint: {exc}", file=sys.stderr)
         return 2
 
-    findings = run_passes(files, selected)
+    if options.no_cache:
+        findings = run_passes(files, [one_pass for _, one_pass in named])
+    else:
+        config_key = f"max_k={options.max_k};manifest={manifest_digest}"
+        findings, _stats = cache.run_cached(files, named, options.cache_path, config_key)
+        findings.extend(suppression_errors(files))
+        findings.sort(key=Finding.sort_key)
     findings = sorted(load_findings + findings, key=lambda f: f.sort_key())
     findings = apply_relaxations(findings, relaxations)
 

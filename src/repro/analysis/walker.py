@@ -92,19 +92,32 @@ def load_sources(paths: Sequence[str]) -> Tuple[List[SourceFile], List[Finding]]
     return files, findings
 
 
-def run_passes(files: Sequence[SourceFile], passes: Sequence[Pass]) -> List[Finding]:
-    """Run *passes*, apply per-file suppressions, and sort the survivors."""
+def apply_suppressions(findings: Sequence[Finding], files: Sequence[SourceFile]) -> List[Finding]:
+    """Drop findings silenced by their file's ``# oftt-lint: ok[...]`` comments."""
     by_path = {f.path: f for f in files}
-    findings: List[Finding] = []
-    for one_pass in passes:
-        findings.extend(one_pass(files))
-    kept = []
+    kept: List[Finding] = []
     for finding in findings:
         owner = by_path.get(finding.path)
         if owner is None or owner.suppressions.allows(finding):
             kept.append(finding)
-    for source_file in files:  # bad suppressions are findings themselves
-        kept.extend(source_file.suppressions.errors)
+    return kept
+
+
+def suppression_errors(files: Sequence[SourceFile]) -> List[Finding]:
+    """Bad suppression comments are findings themselves (GEN002)."""
+    errors: List[Finding] = []
+    for source_file in files:
+        errors.extend(source_file.suppressions.errors)
+    return errors
+
+
+def run_passes(files: Sequence[SourceFile], passes: Sequence[Pass]) -> List[Finding]:
+    """Run *passes*, apply per-file suppressions, and sort the survivors."""
+    findings: List[Finding] = []
+    for one_pass in passes:
+        findings.extend(one_pass(files))
+    kept = apply_suppressions(findings, files)
+    kept.extend(suppression_errors(files))
     kept.sort(key=Finding.sort_key)
     return kept
 

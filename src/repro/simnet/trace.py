@@ -4,19 +4,41 @@ Every layer appends :class:`TraceRecord` entries (timestamped, categorised,
 keyed by component).  Tests and benchmarks query the trace to assert on
 *sequences* of behaviour (e.g. "backup promoted exactly once, after the
 heartbeat timeout elapsed") rather than only on final state.
+
+Hot-path notes (this module is on the ``trace-emits`` bench path and a hot
+root in ``repro/analysis/hotpath.manifest``): :class:`TraceRecord` is a
+hand-written ``__slots__`` class because ~200k instances are allocated
+per full bench run; per-record fingerprints build their canonical JSON payload
+directly (skipping the intermediate wire dict) via module-bound
+serializer entry points; and :meth:`TraceLog.fingerprint` folds only
+records emitted since the previous call into a running digest, so the
+cold path is O(new records) instead of O(all records).
 """
 
 from __future__ import annotations
 
 import hashlib
 import json
-from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, Iterator, List, Optional
 
 #: Float quantization used by trace canonicalization (decimal places).
 #: Sim times are millisecond-scale floats; 9 places is far below any
 #: scheduling granularity while absorbing representation noise.
 QUANTIZE_DECIMALS = 9
+
+# Bound once at import: the fingerprint path runs per record and should
+# not pay module-attribute lookups per call (HOT004/HOT006 dogfood).
+_dumps = json.dumps
+_sha256 = hashlib.sha256
+_escape_json_string = json.encoder.encode_basestring_ascii
+_COMPACT = (",", ":")
+_INF = float("inf")
+_NEG_INF = float("-inf")
+
+#: Detail values that need no canonicalization beyond float quantization.
+#: ``bool`` is listed explicitly because ``type()`` checks do not see
+#: subclassing (unlike the isinstance chain in :func:`canonical_value`).
+_PLAIN_SCALARS = (str, int, float, bool, type(None))
 
 
 def quantize(value: float) -> float:
@@ -40,46 +62,110 @@ def canonical_value(value: Any) -> Any:
     if isinstance(value, dict):
         return {str(k): canonical_value(v) for k, v in sorted(value.items(), key=lambda kv: str(kv[0]))}
     if isinstance(value, (set, frozenset)):
-        return sorted(json.dumps(canonical_value(v), sort_keys=True, default=str) for v in value)
+        # Reviewed-benign HOT004: set-valued details are rare (never on
+        # the emit fast path) and the dump keys the sort, so there is no
+        # stable carrier to memoize on.
+        return sorted(json.dumps(canonical_value(v), sort_keys=True, default=str) for v in value)  # oftt-lint: ok[hot-unmemoized-heavy]
     if isinstance(value, (list, tuple)):
         return [canonical_value(v) for v in value]
     return repr(value)
 
 
 def canonical_detail(detail: Dict[str, Any]) -> Dict[str, Any]:
-    """Canonical (sorted-key, quantized) form of a record's detail dict."""
-    canonical = canonical_value(detail)
-    assert isinstance(canonical, dict)
-    return canonical
+    """Canonical (sorted-key, quantized) form of a record's detail dict.
+
+    Almost every detail emitted by the sim layers is a flat dict of
+    scalars, so the common case skips the recursive
+    :func:`canonical_value` walk entirely: exact-type scalars are kept
+    as-is (floats quantized) under natural key sort.  Any non-scalar
+    value or non-str key falls back to the general path, which produces
+    the identical result for flat scalar dicts — the fast path is an
+    optimization, never a semantic fork.
+    """
+    for key, value in detail.items():
+        if type(key) is not str or type(value) not in _PLAIN_SCALARS:
+            canonical = canonical_value(detail)
+            assert isinstance(canonical, dict)
+            return canonical
+    out: Dict[str, Any] = {}
+    for key in sorted(detail):
+        value = detail[key]
+        out[key] = quantize(value) if type(value) is float else value
+    return out
 
 
-@dataclass(frozen=True)
+def _json_number(value: float) -> str:
+    """Render a quantized float exactly as ``json.dumps`` would.
+
+    For finite floats ``json`` emits ``repr(value)``; the non-finite
+    spellings (``NaN``/``Infinity``) are delegated to the real encoder.
+    """
+    if value != value or value == _INF or value == _NEG_INF:
+        return _dumps(value)
+    return repr(value)
+
+
 class TraceRecord:
     """A single trace entry.
 
-    Records are immutable once emitted; ``as_wire()`` and
-    ``fingerprint()`` are therefore memoized on the instance (replay
-    diffing and log fingerprinting call them once per comparison, which
-    used to recompute JSON + sha256 every time).  Treat the returned
-    wire dict as read-only — it is shared between callers.
+    Records are immutable once emitted (treat every field as read-only);
+    ``as_wire()`` and ``fingerprint()`` are therefore memoized on the
+    instance (replay diffing and log fingerprinting call them once per
+    comparison, which used to recompute JSON + sha256 every time).
+    Treat the returned wire dict as read-only — it is shared between
+    callers.
+
+    A hand-written ``__slots__`` class rather than a dataclass: the
+    generated frozen-dataclass ``__init__`` routes every field through
+    ``object.__setattr__`` and was a third of ``emit()``'s cost at
+    ~200k records per bench run (HOT005 dogfood).
     """
 
-    time: float
-    category: str
-    component: str
-    event: str
-    detail: Dict[str, Any] = field(default_factory=dict)
-    #: Memoized canonical forms (not part of identity/equality).
-    _wire_cache: Optional[Dict[str, Any]] = field(
-        default=None, init=False, repr=False, compare=False
-    )
-    _fingerprint_cache: Optional[str] = field(
-        default=None, init=False, repr=False, compare=False
-    )
+    __slots__ = ("time", "category", "component", "event", "detail",
+                 "_wire_cache", "_fingerprint_cache")
+
+    def __init__(
+        self,
+        time: float,
+        category: str,
+        component: str,
+        event: str,
+        detail: Optional[Dict[str, Any]] = None,
+    ) -> None:
+        self.time = time
+        self.category = category
+        self.component = component
+        self.event = event
+        self.detail = {} if detail is None else detail
+        # Memoized canonical forms (not part of identity/equality).
+        self._wire_cache: Optional[Dict[str, Any]] = None
+        self._fingerprint_cache: Optional[str] = None
+
+    def __eq__(self, other: object) -> bool:
+        if other.__class__ is not TraceRecord:
+            return NotImplemented
+        return (
+            self.time == other.time
+            and self.category == other.category
+            and self.component == other.component
+            and self.event == other.event
+            and self.detail == other.detail
+        )
+
+    __hash__ = None  # type: ignore[assignment]  # detail dicts are unhashable anyway
+
+    def __repr__(self) -> str:
+        return (
+            f"TraceRecord(time={self.time!r}, category={self.category!r}, "
+            f"component={self.component!r}, event={self.event!r}, detail={self.detail!r})"
+        )
 
     def __str__(self) -> str:
+        base = f"[{self.time:12.3f}] {self.category:<10} {self.component:<24} {self.event}"
+        if not self.detail:
+            return base
         extras = " ".join(f"{k}={v}" for k, v in self.detail.items())
-        return f"[{self.time:12.3f}] {self.category:<10} {self.component:<24} {self.event} {extras}".rstrip()
+        return f"{base} {extras}".rstrip()
 
     def as_wire(self) -> Dict[str, Any]:
         """Canonical serializable form (stable key order, quantized floats).
@@ -97,16 +183,32 @@ class TraceRecord:
                 "event": self.event,
                 "detail": canonical_detail(self.detail),
             }
-            object.__setattr__(self, "_wire_cache", wire)
+            self._wire_cache = wire
         return wire
 
     def fingerprint(self) -> str:
-        """Short stable hash of the wire form (for compact diffs)."""
+        """Short stable hash of the wire form (for compact diffs).
+
+        Byte-compatibility contract: the hashed payload is exactly
+        ``json.dumps(self.as_wire(), sort_keys=True, separators=(",", ":"))``
+        — the template below hard-codes the sorted key order of the five
+        wire fields and reuses the stdlib string/number encoders, so the
+        digest is identical to the pre-optimization full-dump path
+        (pinned by ``tests/simnet/test_trace_fastpath.py`` golden
+        fingerprints).
+        """
         cached = self._fingerprint_cache
         if cached is None:
-            payload = json.dumps(self.as_wire(), sort_keys=True, separators=(",", ":"))
-            cached = hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
-            object.__setattr__(self, "_fingerprint_cache", cached)
+            detail = self.detail
+            payload = '{"category":%s,"component":%s,"detail":%s,"event":%s,"time":%s}' % (
+                _escape_json_string(self.category),
+                _escape_json_string(self.component),
+                _dumps(canonical_detail(detail), sort_keys=True, separators=_COMPACT) if detail else "{}",
+                _escape_json_string(self.event),
+                _json_number(quantize(self.time)),
+            )
+            cached = _sha256(payload.encode("utf-8")).hexdigest()[:16]
+            self._fingerprint_cache = cached
         return cached
 
 
@@ -125,6 +227,12 @@ class TraceLog:
         self._subscribers: List[Callable[[TraceRecord], None]] = []
         self._by_category: Dict[str, List[TraceRecord]] = {}
         self._by_component: Dict[str, List[TraceRecord]] = {}
+        # Incremental log fingerprint: sha256 over all folded records'
+        # fingerprints, plus the count folded so far.  Created lazily on
+        # the first fingerprint() call — hashlib objects cannot be
+        # pickled, so a never-fingerprinted log stays freely copyable.
+        self._fp_digest: Optional[Any] = None
+        self._fp_folded = 0
 
     def bind_clock(self, clock: Callable[[], float]) -> None:
         """Attach the simulated clock used to timestamp records."""
@@ -137,7 +245,7 @@ class TraceLog:
     def emit(self, category: str, component: str, event: str, **detail: Any) -> TraceRecord:
         """Append a record stamped with the current simulated time."""
         time = self._clock() if self._clock is not None else 0.0
-        record = TraceRecord(time=time, category=category, component=component, event=event, detail=detail)
+        record = TraceRecord(time, category, component, event, detail)
         self.records.append(record)
         index = self._by_category.get(category)
         if index is None:
@@ -148,11 +256,24 @@ class TraceLog:
             index = self._by_component[component] = []
         index.append(record)
         if self._subscribers:
-            for callback in self._subscribers:
+            # Reviewed-benign HOT003: _subscribers grows with *monitor*
+            # count (a handful per scenario), not with event count.
+            for callback in self._subscribers:  # oftt-lint: ok[hot-linear-scan]
                 callback(record)
         return record
 
     # -- queries ---------------------------------------------------------
+
+    def _candidates(self, category: Optional[str], component: Optional[str]) -> List[TraceRecord]:
+        """Narrowest index covering the given category/component filters."""
+        candidates: List[TraceRecord] = self.records
+        if category is not None:
+            candidates = self._by_category.get(category, [])
+        if component is not None:
+            by_component = self._by_component.get(component, [])
+            if len(by_component) < len(candidates):
+                candidates = by_component
+        return candidates
 
     def select(
         self,
@@ -168,35 +289,81 @@ class TraceLog:
         exactly at *until* is excluded, so adjacent windows tile the
         timeline without double-counting.
         """
-        candidates: List[TraceRecord] = self.records
-        if category is not None:
-            candidates = self._by_category.get(category, [])
-        if component is not None:
-            by_component = self._by_component.get(component, [])
-            if len(by_component) < len(candidates):
-                candidates = by_component
         return [
             record
-            for record in candidates
+            for record in self._candidates(category, component)
             if (category is None or record.category == category)
             and (component is None or record.component == component)
             and (event is None or record.event == event)
             and since <= record.time < until
         ]
 
-    def first(self, **kwargs: Any) -> Optional[TraceRecord]:
-        """First record matching :meth:`select` filters, or None."""
-        matches = self.select(**kwargs)
-        return matches[0] if matches else None
+    def first(
+        self,
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> Optional[TraceRecord]:
+        """First record matching :meth:`select` filters, or None.
 
-    def last(self, **kwargs: Any) -> Optional[TraceRecord]:
-        """Last record matching :meth:`select` filters, or None."""
-        matches = self.select(**kwargs)
-        return matches[-1] if matches else None
+        Short-circuits on the first hit instead of materializing the
+        full ``select()`` list (the HOT003 poster child — see
+        ANALYSIS.md "Hot-path rules").
+        """
+        for record in self._candidates(category, component):
+            if (
+                (category is None or record.category == category)
+                and (component is None or record.component == component)
+                and (event is None or record.event == event)
+                and since <= record.time < until
+            ):
+                return record
+        return None
 
-    def count(self, **kwargs: Any) -> int:
-        """Number of records matching :meth:`select` filters."""
-        return len(self.select(**kwargs))
+    def last(
+        self,
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> Optional[TraceRecord]:
+        """Last record matching :meth:`select` filters, or None.
+
+        Scans the narrowest index backwards and stops at the first hit.
+        """
+        for record in reversed(self._candidates(category, component)):
+            if (
+                (category is None or record.category == category)
+                and (component is None or record.component == component)
+                and (event is None or record.event == event)
+                and since <= record.time < until
+            ):
+                return record
+        return None
+
+    def count(
+        self,
+        category: Optional[str] = None,
+        component: Optional[str] = None,
+        event: Optional[str] = None,
+        since: float = float("-inf"),
+        until: float = float("inf"),
+    ) -> int:
+        """Number of records matching :meth:`select` filters.
+
+        Counts in a single pass without building the intermediate list.
+        """
+        return sum(
+            1
+            for record in self._candidates(category, component)
+            if (category is None or record.category == category)
+            and (component is None or record.component == component)
+            and (event is None or record.event == event)
+            and since <= record.time < until
+        )
 
     def __iter__(self) -> Iterator[TraceRecord]:
         return iter(self.records)
@@ -219,9 +386,33 @@ class TraceLog:
         Two runs of the same scenario with the same seed should yield
         identical fingerprints; ``repro.replay`` uses this as the cheap
         equality check before computing an event-by-event diff.
+
+        The log is append-only, so the digest is maintained
+        incrementally: each call folds only the records emitted since
+        the last call, then reports the digest over everything folded so
+        far.  The result is byte-for-byte identical to hashing the full
+        log from scratch (the replay gate re-verifies this every run).
+        If the record list ever shrinks — unsupported, but cheap to
+        detect — the digest is rebuilt from scratch rather than served
+        stale.
         """
-        digest = hashlib.sha256()
-        for record in self.records:
-            digest.update(record.fingerprint().encode("ascii"))
-            digest.update(b"\n")
+        records = self.records
+        digest = self._fp_digest
+        if digest is None or self._fp_folded > len(records):
+            digest = self._fp_digest = _sha256()
+            self._fp_folded = 0
+        folded = self._fp_folded
+        if folded < len(records):
+            update = digest.update
+            for record in records[folded:]:
+                update(record.fingerprint().encode("ascii"))
+                update(b"\n")
+            self._fp_folded = len(records)
         return digest.hexdigest()[:16]
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Drop the unpicklable running digest; it rebuilds on demand."""
+        state = self.__dict__.copy()
+        state["_fp_digest"] = None
+        state["_fp_folded"] = 0
+        return state

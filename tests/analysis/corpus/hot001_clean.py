@@ -1,0 +1,8 @@
+"""Clean twin of hot001: the invariant container is a module constant."""
+
+_NAMES = ("alpha", "beta", "gamma")
+
+
+class Hot:
+    def run(self, value):
+        return value in _NAMES

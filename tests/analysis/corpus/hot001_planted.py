@@ -1,0 +1,9 @@
+"""Planted HOT001: constant container literal rebuilt on every hot call.
+
+The corpus gate declares ``Hot.run`` as the hot root.
+"""
+
+
+class Hot:
+    def run(self, value):
+        return value in ["alpha", "beta", "gamma"]  # expect: HOT001

@@ -1,0 +1,11 @@
+"""Clean twin of hot002: the string is built inside the branch that uses it."""
+
+
+class Hot:
+    def __init__(self):
+        self.errors = []
+
+    def run(self, item):
+        if item < 0:
+            self.errors.append(f"item {item} out of range")
+        return item

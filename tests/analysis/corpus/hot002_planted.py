@@ -1,0 +1,12 @@
+"""Planted HOT002: diagnostic string formatted eagerly, used conditionally."""
+
+
+class Hot:
+    def __init__(self):
+        self.errors = []
+
+    def run(self, item):
+        message = f"item {item} out of range"  # expect: HOT002
+        if item < 0:
+            self.errors.append(message)
+        return item

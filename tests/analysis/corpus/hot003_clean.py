@@ -1,0 +1,15 @@
+"""Clean twin of hot003: a set gives O(1) membership, no scan."""
+
+
+class Hot:
+    def __init__(self):
+        self.seen = set()
+
+    def note(self, key):
+        self.seen.add(key)
+
+    def run(self, key):
+        if key in self.seen:
+            return True
+        self.note(key)
+        return False

@@ -1,0 +1,15 @@
+"""Planted HOT003: per-event membership scan over a growing list."""
+
+
+class Hot:
+    def __init__(self):
+        self.seen = []
+
+    def note(self, key):
+        self.seen.append(key)
+
+    def run(self, key):
+        if key in self.seen:  # expect: HOT003
+            return True
+        self.note(key)
+        return False

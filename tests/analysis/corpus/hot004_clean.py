@@ -1,0 +1,13 @@
+"""Clean twin of hot004: the digest is memoized behind a None guard."""
+
+import hashlib
+
+
+class Hot:
+    def __init__(self):
+        self._digest = None
+
+    def run(self, payload):
+        if self._digest is None:
+            self._digest = hashlib.sha256(payload).hexdigest()
+        return self._digest

@@ -1,0 +1,8 @@
+"""Planted HOT004: per-event hashing with no memo guard."""
+
+import hashlib
+
+
+class Hot:
+    def run(self, payload):
+        return hashlib.sha256(payload).hexdigest()  # expect: HOT004

@@ -1,0 +1,13 @@
+"""Clean twin of hot005: the per-event class declares __slots__."""
+
+
+class Item:
+    __slots__ = ("key",)
+
+    def __init__(self, key):
+        self.key = key
+
+
+class Hot:
+    def run(self, key):
+        return Item(key)

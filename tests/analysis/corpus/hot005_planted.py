@@ -1,0 +1,11 @@
+"""Planted HOT005: per-event instantiation of a class without __slots__."""
+
+
+class Item:
+    def __init__(self, key):
+        self.key = key
+
+
+class Hot:
+    def run(self, key):
+        return Item(key)  # expect: HOT005

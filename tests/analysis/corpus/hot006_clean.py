@@ -1,0 +1,13 @@
+"""Clean twin of hot006: the module attribute is bound once at import."""
+
+import math
+
+_sqrt = math.sqrt
+
+
+class Hot:
+    def run(self, values):
+        total = 0.0
+        for value in values:
+            total += _sqrt(value)
+        return total

@@ -1,0 +1,11 @@
+"""Planted HOT006: module attribute re-resolved on every hot call."""
+
+import math
+
+
+class Hot:
+    def run(self, values):
+        total = 0.0
+        for value in values:
+            total += math.sqrt(value)  # expect: HOT006
+        return total

@@ -1,10 +1,10 @@
-"""Corpus gate for the effects pass (wired into ``make verify`` via test).
+"""Corpus gate for the hotpath pass (HOT001-HOT006).
 
-Every ``*_planted.py`` file under ``tests/analysis/corpus/`` must
-produce exactly one effects finding — the rule id and line named by its
-``# expect: RULEID`` marker — and every ``*_clean.py`` twin must produce
-none.  A change to the call graph or summary propagation that weakens
-(or over-triggers) any rule fails here with the offending file named.
+Every ``hot00X_planted.py`` under ``tests/analysis/corpus/`` must produce
+exactly one hot finding — the rule id and line named by its
+``# expect: RULEID`` marker — and every ``hot00X_clean.py`` twin must
+produce none, under the corpus root convention: each corpus module
+declares ``Hot.run`` as its only hot root.
 """
 
 from __future__ import annotations
@@ -14,26 +14,22 @@ import re
 
 import pytest
 
-from repro.analysis import effects
+from repro.analysis import hotpath
+from repro.analysis.hotpath import RootSpec
 from repro.analysis.walker import load_sources, run_passes
 
 CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
-MARKER = re.compile(r"#\s*expect:\s*([A-Z]+\d+)")
+MARKER = re.compile(r"#\s*expect:\s*(HOT\d+)")
 
-# ``hot00X_*`` files belong to the hotpath pass and are gated by
-# tests/analysis/test_hotpath_corpus.py with their own root convention.
-PLANTED = sorted(
-    f for f in os.listdir(CORPUS) if f.endswith("_planted.py") and not f.startswith("hot")
-)
-CLEAN = sorted(
-    f for f in os.listdir(CORPUS) if f.endswith("_clean.py") and not f.startswith("hot")
-)
+PLANTED = sorted(f for f in os.listdir(CORPUS) if f.startswith("hot") and f.endswith("_planted.py"))
+CLEAN = sorted(f for f in os.listdir(CORPUS) if f.startswith("hot") and f.endswith("_clean.py"))
 
 
-def effects_findings(name):
+def hot_findings(name):
     files, load_findings = load_sources([os.path.join(CORPUS, name)])
     assert load_findings == [], f"{name} failed to load cleanly"
-    return run_passes(files, [effects.run])
+    roots = [RootSpec(name[: -len(".py")], "Hot.run")]
+    return run_passes(files, [lambda fs: hotpath.run_with_roots(fs, roots)])
 
 
 def expected_marker(name):
@@ -51,10 +47,7 @@ def expected_marker(name):
 
 def test_corpus_is_complete():
     planted_rules = {expected_marker(name)[0] for name in PLANTED}
-    assert planted_rules == {
-        "RACE101", "RACE102", "RACE103",
-        "PURE001", "PURE002", "PURE003", "PURE004",
-    }
+    assert planted_rules == {"HOT001", "HOT002", "HOT003", "HOT004", "HOT005", "HOT006"}
     # every planted file has a clean twin
     assert [n.replace("_clean", "_planted") for n in CLEAN] == PLANTED
 
@@ -62,10 +55,10 @@ def test_corpus_is_complete():
 @pytest.mark.parametrize("name", PLANTED)
 def test_planted_defect_is_flagged_exactly(name):
     rule_id, line = expected_marker(name)
-    found = [(f.rule.rule_id, f.line) for f in effects_findings(name)]
+    found = [(f.rule.rule_id, f.line) for f in hot_findings(name)]
     assert found == [(rule_id, line)]
 
 
 @pytest.mark.parametrize("name", CLEAN)
 def test_clean_twin_stays_clean(name):
-    assert effects_findings(name) == []
+    assert hot_findings(name) == []
