@@ -5,7 +5,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest perf-gate bench bench-diff verify
+.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest strategy-matrix perf-gate bench bench-diff verify
 
 test:
 	$(PY) -m pytest -x -q
@@ -55,6 +55,13 @@ chaos-selftest:
 		echo "chaos self-test: expected exit 1, got $$status" >&2; exit 1; \
 	fi
 
+# The chaos smoke campaign under every replication strategy: the default
+# cold-passive run (the `chaos` target) plus leader-follower and
+# log-replay-dr, all violation-free.
+strategy-matrix: chaos
+	$(PY) -m repro.chaos --smoke --strategy leader-follower
+	$(PY) -m repro.chaos --smoke --strategy log-replay-dr
+
 # The executor contract (see PERF.md): a campaign run at --jobs 2 must
 # render byte-identically to the serial run.
 perf-gate:
@@ -70,4 +77,4 @@ bench:
 bench-diff:
 	$(PY) -m repro.bench diff --latest
 
-verify: test lint lint-tests replay chaos chaos-selftest perf-gate bench-diff
+verify: test lint lint-tests replay strategy-matrix chaos-selftest perf-gate bench-diff

@@ -30,6 +30,7 @@ class SyntheticStateApp(OfttApplication):
         tick_period: float = 100.0,
         mode: str = "full",
         checkpoint_period: Optional[float] = None,
+        inbox_queue: Optional[str] = None,
     ) -> None:
         """
         Parameters
@@ -38,6 +39,13 @@ class SyntheticStateApp(OfttApplication):
             ``"full"`` — level-1 API, whole address space each period;
             ``"selective"`` — ``OFTTSelSave`` on the hot variables;
             ``"incremental"`` — full designation but delta encoding.
+        inbox_queue:
+            Name of a local MSMQ queue to consume workload messages from
+            (the diverter inbox).  Each applied message updates the
+            ``applied``/``last_n`` counters in checkpointed state via
+            :meth:`apply_message` — the same function the DR site uses
+            for log replay — so message-driven state survives failovers.
+            None (the default) keeps the app purely timer-driven.
         """
         super().__init__()
         if mode not in ("full", "selective", "incremental"):
@@ -47,6 +55,7 @@ class SyntheticStateApp(OfttApplication):
         self.tick_period = tick_period
         self.mode = mode
         self.checkpoint_period = checkpoint_period
+        self.inbox_queue = inbox_queue
         self.api: Optional[OfttApi] = None
 
     def launch(self, image: Optional[Dict[str, Any]]) -> NTProcess:
@@ -83,6 +92,25 @@ class SyntheticStateApp(OfttApplication):
         process.create_thread("main", body=main_body, dynamic=False)
         process.start()
 
+        if self.inbox_queue is not None:
+            space.write("applied", restored.get("applied", 0))
+            space.write("last_n", restored.get("last_n", 0))
+            queue = context.qmgr.create_queue(self.inbox_queue, journal=True)
+
+            def on_workload(qmsg, queue=queue, space=space, process=process):
+                if not process.alive:
+                    # This copy died with messages still arriving (crash
+                    # faults race queue delivery); stop consuming so the
+                    # next launch re-subscribes against live state.
+                    queue.unsubscribe()
+                    return
+                state = {"applied": space.read("applied"), "last_n": space.read("last_n")}
+                if self.apply_message(state, qmsg.body):
+                    space.write("applied", state["applied"])
+                    space.write("last_n", state["last_n"])
+
+            queue.subscribe(on_workload)
+
         api = OfttApi(context, self.name, process)
         api.OFTTInitialize(stateful=True, checkpoint_period=self.checkpoint_period)
         if self.mode == "selective":
@@ -94,8 +122,40 @@ class SyntheticStateApp(OfttApplication):
         self.launch_count += 1
         return process
 
+    @staticmethod
+    def apply_message(state: Dict[str, Any], body: Any) -> bool:
+        """Apply one workload message to *state*; True if it changed.
+
+        *state* is the ``globals`` region dict (live or a reconstructed
+        checkpoint image).  Messages carry ``{"op": "tick", "n": N}``
+        with N strictly increasing per sender; anything at or below
+        ``last_n`` is a duplicate or stale redelivery and is skipped —
+        which is exactly the dedup rule DR log replay needs to avoid
+        double-applying messages the checkpoint already reflects.
+        """
+        if not isinstance(body, dict) or body.get("op") != "tick":
+            return False
+        n = body.get("n")
+        if not isinstance(n, int) or n <= state.get("last_n", 0):
+            return False
+        state["applied"] = state.get("applied", 0) + 1
+        state["last_n"] = n
+        return True
+
     def ticks(self) -> int:
         """Progress counter (0 when not running)."""
         if self.process is None or not self.process.alive:
             return 0
         return self.process.address_space.read("ticks")
+
+    def applied(self) -> int:
+        """Workload messages applied (0 when not running or timer-only)."""
+        if self.process is None or not self.process.alive or self.inbox_queue is None:
+            return 0
+        return self.process.address_space.read("applied")
+
+    def last_n(self) -> int:
+        """Highest applied workload sequence (0 when not running)."""
+        if self.process is None or not self.process.alive or self.inbox_queue is None:
+            return 0
+        return self.process.address_space.read("last_n")

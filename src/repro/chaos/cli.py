@@ -27,6 +27,7 @@ from repro.chaos.minimize import MinimizationResult, minimize_schedule
 from repro.chaos.report import render_json, render_text
 from repro.chaos.runner import SABOTAGES, RunResult, run_schedule, run_schedule_task
 from repro.chaos.schedule import ChaosSchedule, FaultEntry, ScheduleGenerator
+from repro.core.config import REPLICATION_STRATEGIES, OfttConfig, replace_config
 from repro.harness.scenario import ChaosScenario
 from repro.perf.executor import add_jobs_argument, parallel_map
 from repro.simnet.random import RngStreams
@@ -74,6 +75,10 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--sabotage", default="", metavar="NAME",
                         help="run the whole campaign with a named sabotage hook installed "
                              "(monitor self-checks; see --self-test)")
+    parser.add_argument("--strategy", default="", choices=("",) + REPLICATION_STRATEGIES,
+                        metavar="NAME",
+                        help="run the campaign under a replication strategy "
+                             f"({', '.join(REPLICATION_STRATEGIES)}; default: the config default)")
     add_jobs_argument(parser)
     parser.add_argument("--format", choices=("text", "json"), default="text",
                         help="report format (default: text)")
@@ -114,14 +119,19 @@ def campaign(
     seed_base: int,
     sabotage_name: str = "",
     jobs: int = 1,
+    config: Optional[OfttConfig] = None,
 ) -> List[RunResult]:
     """Generate and execute ``seeds x schedules`` runs, in order.
 
     With ``jobs > 1`` the independent runs execute on a process pool;
     results are merged in task order, so the campaign (and any report
-    rendered from it) is byte-identical to the serial run.
+    rendered from it) is byte-identical to the serial run.  A *config*
+    (e.g. a non-default replication strategy) extends each task to the
+    four-element form; default campaigns keep the three-element tasks.
     """
-    tasks = campaign_tasks(seeds, schedules, seed_base, sabotage_name=sabotage_name)
+    tasks: List[Tuple] = campaign_tasks(seeds, schedules, seed_base, sabotage_name=sabotage_name)
+    if config is not None:
+        tasks = [(seed, schedule, name, config) for seed, schedule, name in tasks]
     return parallel_map(run_schedule_task, tasks, jobs=jobs)
 
 
@@ -149,6 +159,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               f"available: {sorted(SABOTAGES)}", file=sys.stderr)
         return 2
 
+    config: Optional[OfttConfig] = None
+    if options.strategy:
+        config = replace_config(OfttConfig(), replication_strategy=options.strategy)
+
     minimization: Optional[MinimizationResult] = None
     if options.self_test:
         results, minimization = self_test()
@@ -157,7 +171,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         seeds = SMOKE_SEEDS if options.smoke else options.seeds
         schedules = SMOKE_SCHEDULES if options.smoke else options.schedules
         results = campaign(seeds, schedules, options.seed_base,
-                           sabotage_name=options.sabotage, jobs=options.jobs)
+                           sabotage_name=options.sabotage, jobs=options.jobs,
+                           config=config)
         mode = "smoke" if options.smoke else "campaign"
         first_failed = next((r for r in results if not r.passed), None)
         if first_failed is not None:
@@ -170,6 +185,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 first_failed.violation_names()[0],
                 sabotage_name=first_failed.sabotage,
                 max_runs=options.max_minimize_runs,
+                config=config,
             )
 
     if options.format == "json":

@@ -17,7 +17,7 @@ sequence regressions are caught at the exact event, not at the next poll.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional, Tuple
 
 from repro.core.engine import PEER
 from repro.core.roles import Role
@@ -80,6 +80,12 @@ class SplitBrainMonitor(InvariantMonitor):
     both directions, the incarnation tie-break demotes one side within a
     grace window.  Persisting past the window — or both copies executing
     the application — is split-brain.
+
+    Under the ``log-replay-dr`` strategy the DR site is a third
+    potential "brain": an activated site must stand down once a serving
+    primary can reach it again (its pair heartbeats force standdown).
+    A DR site that stays active past the grace window while a reachable
+    primary serves is reported as a ``dr-standdown`` violation.
     """
 
     name = "split-brain"
@@ -89,6 +95,8 @@ class SplitBrainMonitor(InvariantMonitor):
         self.grace = grace
         self._since: float = -1.0
         self._reported = False
+        self._dr_since: float = -1.0
+        self._dr_reported = False
 
     def on_tick(self, scenario: Any, now: float) -> None:
         pair = scenario.pair
@@ -101,11 +109,9 @@ class SplitBrainMonitor(InvariantMonitor):
         if not dual:
             self._since = -1.0
             self._reported = False
-            return
-        if self._since < 0:
+        elif self._since < 0:
             self._since = now
-            return
-        if not self._reported and now - self._since > self.grace:
+        elif not self._reported and now - self._since > self.grace:
             self._reported = True
             running = pair.running_app_nodes()
             self._violate(
@@ -113,6 +119,36 @@ class SplitBrainMonitor(InvariantMonitor):
                 primaries=sorted(primaries),
                 running_apps=sorted(running),
                 held_for=round(now - self._since, 3),
+            )
+        self._check_dr(scenario, primaries, now)
+
+    def _check_dr(self, scenario: Any, primaries: List[str], now: float) -> None:
+        dr_site = getattr(scenario, "dr_site", None)
+        if dr_site is None or not dr_site.active:
+            self._dr_since = -1.0
+            self._dr_reported = False
+            return
+        network = scenario.network
+        serving = [
+            name
+            for name in primaries
+            if network.path_ok(name, dr_site.node_name) and network.path_ok(dr_site.node_name, name)
+        ]
+        if not serving:
+            self._dr_since = -1.0
+            self._dr_reported = False
+            return
+        if self._dr_since < 0:
+            self._dr_since = now
+            return
+        if not self._dr_reported and now - self._dr_since > self.grace:
+            self._dr_reported = True
+            self._violate(
+                now,
+                kind="dr-standdown",
+                primaries=sorted(serving),
+                dr_node=dr_site.node_name,
+                held_for=round(now - self._dr_since, 3),
             )
 
 
@@ -311,6 +347,93 @@ class HeartbeatLivenessMonitor(InvariantMonitor):
             self._violate(now, nodes=sorted(suspicious), healthy_for=round(now - self._healthy_since, 3))
 
 
+class ReplicaFreshnessMonitor(InvariantMonitor):
+    """Leader-follower: the follower's mirror keeps pace with the leader.
+
+    The whole point of :class:`LeaderFollowerStrategy` is that updates
+    stream continuously, so the follower can take over without the
+    cold-passive checkpoint gap.  While both nodes are alive and
+    bidirectionally connected, the follower must keep reaching the
+    leader's submitted sequence: if it fails to advance past a fixed
+    target sequence for longer than ``grace``, the replication stream is
+    silently broken and a failover would lose exactly the state this
+    strategy promises to preserve.  Inert (no hooks, no checks) under
+    any other strategy.
+    """
+
+    name = "replica-freshness"
+
+    def __init__(self, grace: float = 5_000.0) -> None:
+        super().__init__()
+        self.grace = grace
+        self._enabled = False
+        self._submitted: Dict[str, int] = {}  # node -> last submitted seq
+        self._stored: Dict[str, int] = {}  # node -> max peer seq stored
+        self._healthy_since: float = -1.0
+        self._target: Optional[Tuple[int, float]] = None  # (seq to reach, since)
+        self._reported = False
+
+    def attach(self, scenario: Any) -> None:
+        self._enabled = getattr(scenario, "strategy_name", "cold-passive") == "leader-follower"
+
+    def on_engine(self, engine: Any) -> None:
+        if not self._enabled:
+            return
+
+        def on_submit(eng: Any, checkpoint: Any) -> None:
+            self._submitted[eng.node_name] = checkpoint.sequence
+
+        def on_stored(eng: Any, checkpoint: Any) -> None:
+            self._stored[eng.node_name] = max(self._stored.get(eng.node_name, 0), checkpoint.sequence)
+
+        engine.on_checkpoint_submit.append(on_submit)
+        engine.on_checkpoint_stored.append(on_stored)
+
+    def on_tick(self, scenario: Any, now: float) -> None:
+        if not self._enabled:
+            return
+        pair = scenario.pair
+        both_alive = all(pair.engines[name].alive for name in pair.node_names)
+        primaries = [
+            name
+            for name in pair.node_names
+            if pair.engines[name].alive and pair.engines[name].role is Role.PRIMARY
+        ]
+        if not (both_alive and len(primaries) == 1 and _connected_both_ways(scenario)):
+            self._healthy_since = -1.0
+            self._target = None
+            self._reported = False
+            return
+        if self._healthy_since < 0:
+            self._healthy_since = now
+            return
+        primary = primaries[0]
+        follower = next(name for name in pair.node_names if name != primary)
+        submitted = self._submitted.get(primary, 0)
+        stored = self._stored.get(follower, 0)
+        if stored >= submitted:
+            # Fully caught up; nothing outstanding to chase.
+            self._target = None
+            return
+        if self._target is None or stored >= self._target[0]:
+            # (Re)arm on the current head: the follower lags but was
+            # still advancing — give it a fresh grace window per target.
+            self._target = (submitted, now)
+            return
+        target_seq, since = self._target
+        if not self._reported and now - since > self.grace and now - self._healthy_since > self.grace:
+            self._reported = True
+            self._violate(
+                now,
+                leader=primary,
+                follower=follower,
+                submitted=submitted,
+                mirrored=stored,
+                stalled_at=target_seq,
+                stalled_for=round(now - since, 3),
+            )
+
+
 def default_monitors() -> List[InvariantMonitor]:
     """The standard monitor suite (fresh instances)."""
     return [
@@ -319,4 +442,5 @@ def default_monitors() -> List[InvariantMonitor]:
         DiverterConservationMonitor(),
         RecoveryLatencyMonitor(),
         HeartbeatLivenessMonitor(),
+        ReplicaFreshnessMonitor(),
     ]

@@ -15,10 +15,11 @@ never re-executes an already-tested configuration.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.chaos.runner import run_schedule
 from repro.chaos.schedule import ChaosSchedule
+from repro.core.config import OfttConfig
 
 
 @dataclass
@@ -55,11 +56,19 @@ class MinimizationResult:
 class _SubsetTester:
     """Runs index subsets of one schedule, with memoization."""
 
-    def __init__(self, seed: int, schedule: ChaosSchedule, invariant: str, sabotage_name: str) -> None:
+    def __init__(
+        self,
+        seed: int,
+        schedule: ChaosSchedule,
+        invariant: str,
+        sabotage_name: str,
+        config: Optional[OfttConfig] = None,
+    ) -> None:
         self.seed = seed
         self.schedule = schedule
         self.invariant = invariant
         self.sabotage_name = sabotage_name
+        self.config = config
         self.runs_used = 0
         self._cache: Dict[Tuple[int, ...], bool] = {}
 
@@ -69,7 +78,12 @@ class _SubsetTester:
         if key in self._cache:
             return self._cache[key]
         self.runs_used += 1
-        result = run_schedule(self.seed, self.schedule.subset(list(key)), sabotage_name=self.sabotage_name)
+        result = run_schedule(
+            self.seed,
+            self.schedule.subset(list(key)),
+            sabotage_name=self.sabotage_name,
+            config=self.config,
+        )
         failed = self.invariant in result.violation_names()
         self._cache[key] = failed
         return failed
@@ -81,14 +95,17 @@ def minimize_schedule(
     invariant: str,
     sabotage_name: str = "",
     max_runs: int = 64,
+    config: Optional[OfttConfig] = None,
 ) -> MinimizationResult:
     """ddmin over *schedule*'s entries targeting *invariant*.
 
     ``max_runs`` bounds the schedule executions (minimization is an
     aid, not a proof; the bound keeps worst-case CLI latency sane).  The
     returned schedule is 1-minimal w.r.t. the subsets actually tested.
+    Reproduction runs use *config* (e.g. a non-default replication
+    strategy) when given, matching the failing campaign's runs.
     """
-    tester = _SubsetTester(seed, schedule, invariant, sabotage_name)
+    tester = _SubsetTester(seed, schedule, invariant, sabotage_name, config=config)
     everything = list(range(len(schedule.entries)))
     if not everything or not tester.fails(everything):
         return MinimizationResult(

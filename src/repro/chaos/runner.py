@@ -53,6 +53,19 @@ def _disable_dual_primary_resolution(scenario: ChaosScenario) -> None:
         negotiator._resolve_dual_primary = lambda peer_incarnation: None
 
 
+@sabotage("drop-state-updates")
+def _drop_state_updates(scenario: ChaosScenario) -> None:
+    """Silently discard every replicated checkpoint/update.
+
+    Models a broken replication stream: checkpoints are still submitted
+    locally (hooks fire, stores advance) but nothing reaches the peer —
+    the failure :class:`ReplicaFreshnessMonitor` exists to catch under
+    the leader-follower strategy.
+    """
+    for name in scenario.pair.node_names:
+        scenario.pair.engines[name].strategy.replicate = lambda checkpoint: None
+
+
 @dataclass
 class RunResult:
     """Outcome of one schedule execution."""
@@ -195,6 +208,9 @@ def run_schedule_task(task: Tuple[int, ChaosSchedule, str]) -> RunResult:
     Module-level (pickled by reference) so campaigns can fan schedules
     out over :func:`repro.perf.executor.parallel_map`; the run is a pure
     function of the task tuple, so worker placement cannot affect it.
+    An optional fourth element carries an :class:`OfttConfig` (strategy
+    campaigns); three-element tasks keep the default config.
     """
-    seed, schedule, sabotage_name = task
-    return run_schedule(seed, schedule, sabotage_name=sabotage_name)
+    seed, schedule, sabotage_name = task[0], task[1], task[2]
+    config = task[3] if len(task) > 3 else None
+    return run_schedule(seed, schedule, sabotage_name=sabotage_name, config=config)

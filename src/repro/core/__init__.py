@@ -14,9 +14,19 @@ Layout mirrors Figure 2 of the paper:
   display component.
 * :class:`OfttPair` (:mod:`~repro.core.cluster`) — assembles a
   primary/backup pair with an application, ready for fault injection.
+* :class:`ReplicationStrategy` (:mod:`~repro.core.strategy`) — pluggable
+  replication modes: the paper's cold-passive pair, LLFT-style
+  leader-follower streaming, and log-replay disaster recovery backed by
+  the remote :class:`DRSite` (:mod:`~repro.core.drsite`).
 """
 
-from repro.core.config import OfttConfig, RecoveryRule, RecoveryAction, GiveUpPolicy
+from repro.core.config import (
+    OfttConfig,
+    RecoveryRule,
+    RecoveryAction,
+    GiveUpPolicy,
+    REPLICATION_STRATEGIES,
+)
 from repro.core.status import ComponentKind, ComponentStatus, StatusReport
 from repro.core.heartbeat import HeartbeatMonitor
 from repro.core.roles import Role, RoleNegotiator
@@ -30,16 +40,28 @@ from repro.core.engine import OfttEngine
 from repro.core.diverter import DiverterClient, MessageDiverter, inbox_queue_name
 from repro.core.monitor import SystemMonitor
 from repro.core.cluster import OfttPair
+from repro.core.strategy import (
+    ColdPassiveStrategy,
+    LeaderFollowerStrategy,
+    LogReplayDRStrategy,
+    ReplicationStrategy,
+    create_strategy,
+)
+from repro.core.drsite import DRSite
 
 __all__ = [
     "Checkpoint",
     "CheckpointStore",
     "ClientFtim",
+    "ColdPassiveStrategy",
     "ComponentKind",
     "ComponentStatus",
+    "DRSite",
     "DiverterClient",
     "GiveUpPolicy",
     "HeartbeatMonitor",
+    "LeaderFollowerStrategy",
+    "LogReplayDRStrategy",
     "MessageDiverter",
     "NodeContext",
     "OfttApi",
@@ -47,14 +69,17 @@ __all__ = [
     "OfttConfig",
     "OfttEngine",
     "OfttPair",
+    "REPLICATION_STRATEGIES",
     "RecoveryAction",
     "RecoveryManager",
     "RecoveryRule",
+    "ReplicationStrategy",
     "Role",
     "RoleNegotiator",
     "ServerFtim",
     "StatusReport",
     "SystemMonitor",
     "WatchdogTimer",
+    "create_strategy",
     "inbox_queue_name",
 ]

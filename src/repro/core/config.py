@@ -41,6 +41,12 @@ class GiveUpPolicy(enum.Enum):
     GO_PRIMARY = "go-primary"
 
 
+#: Valid ``OfttConfig.replication_strategy`` values.  Kept as a literal
+#: here (the strategy registry lives in :mod:`repro.core.strategy`,
+#: which imports this module); tests pin the two lists equal.
+REPLICATION_STRATEGIES = ("cold-passive", "leader-follower", "log-replay-dr")
+
+
 @dataclass(frozen=True)
 class RecoveryRule:
     """Per-component recovery policy."""
@@ -110,6 +116,18 @@ class OfttConfig:
     msq_retry_max_interval: float = 2_000.0
     msq_retry_jitter: float = 25.0
 
+    # Replication strategy (see repro.core.strategy).  "cold-passive" is
+    # the paper's primary/backup behaviour and the default.
+    replication_strategy: str = "cold-passive"
+    #: Leader-follower: period of the incremental state-update stream
+    #: (overrides every FTIM's checkpoint period under that strategy).
+    lf_update_period: float = 100.0
+    #: Log-replay DR: node name of the disaster-recovery site ("" = no
+    #: site wired; the strategy then degenerates to cold-passive).
+    dr_node: str = ""
+    #: Log-replay DR: pair silence before the remote site activates.
+    dr_activation_timeout: float = 5_000.0
+
     # Recovery rules by component name; ``default_rule`` covers the rest.
     recovery_rules: Dict[str, RecoveryRule] = field(default_factory=dict)
     default_rule: RecoveryRule = field(default_factory=RecoveryRule)
@@ -148,6 +166,15 @@ class OfttConfig:
             raise ValueError("msq_retry_max_interval must be at least msq_retry_interval")
         if self.msq_retry_jitter < 0:
             raise ValueError("msq_retry_jitter must be non-negative")
+        if self.replication_strategy not in REPLICATION_STRATEGIES:
+            raise ValueError(
+                f"unknown replication_strategy {self.replication_strategy!r}; "
+                f"valid: {', '.join(REPLICATION_STRATEGIES)}"
+            )
+        if self.lf_update_period <= 0:
+            raise ValueError("lf_update_period must be positive")
+        if self.dr_activation_timeout <= 0:
+            raise ValueError("dr_activation_timeout must be positive")
 
 
 def replace_config(config: OfttConfig, **changes) -> OfttConfig:

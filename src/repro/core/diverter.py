@@ -19,7 +19,7 @@ Two halves:
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro.core.engine import DIVERTER_PORT
 from repro.msq.manager import QueueManager
@@ -58,6 +58,13 @@ class DiverterClient:
     notification the client re-targets both buffered and in-flight
     (unacknowledged) messages — the "non-delivery is detected and
     retried" behaviour.
+
+    With ``mirror=(node, queue)`` set, every message is *also* logged to
+    that queue at send time (sender-based message logging, arxiv
+    0911.3092): unlike the pair-side inbox journal, the mirror survives
+    total pair loss, so a disaster-recovery site can replay it.  Mirror
+    copies go out immediately even while the primary is unknown and the
+    original sits in the buffer.
     """
 
     def __init__(
@@ -67,6 +74,7 @@ class DiverterClient:
         unit: str,
         pair_nodes: List[str],
         trace: Optional[TraceLog] = None,
+        mirror: Optional[Tuple[str, str]] = None,
     ) -> None:
         self.node = node
         self.qmgr = qmgr
@@ -75,8 +83,10 @@ class DiverterClient:
         self.trace = trace if trace is not None else TraceLog()
         self.primary: Optional[str] = None
         self.queue_name = inbox_queue_name(unit)
+        self.mirror = mirror
         self._buffer: List[Any] = []
         self.sent_count = 0
+        self.mirrored_count = 0
         self.redirect_count = 0
         self.role_changes_seen = 0
         self._listeners: List[Callable[[str], None]] = []
@@ -119,6 +129,12 @@ class DiverterClient:
 
     def send(self, body: Any, label: str = "") -> None:
         """Send *body* to the logical unit (buffered until primary known)."""
+        if self.mirror is not None:
+            mirror_node, mirror_queue = self.mirror
+            self.qmgr.send(
+                mirror_node, mirror_queue, {"kind": "msg", "body": body}, persistent=True, label="dr-log"
+            )
+            self.mirrored_count += 1
         if self.primary is None:
             self._buffer.append((body, label))
             return

@@ -28,6 +28,7 @@ from repro.core.heartbeat import HeartbeatMonitor
 from repro.core.recovery import RecoveryManager
 from repro.core.roles import Role, RoleNegotiator
 from repro.core.status import ComponentKind, ComponentStatus, StatusReport
+from repro.core.strategy import PEER, create_strategy
 from repro.core.watchdog import WatchdogTimer
 from repro.errors import OfttError, WatchdogError
 from repro.nt.process import NTProcess
@@ -35,9 +36,6 @@ from repro.nt.process import NTProcess
 ENGINE_PORT = "oftt.engine"
 STATUS_PORT = "oftt.status"
 DIVERTER_PORT = "oftt.diverter"
-
-#: Monitor name used for the peer engine's heartbeat watch.
-PEER = "peer-engine"
 
 IENGINE = declare_interface(
     "IOFTTEngine",
@@ -115,6 +113,10 @@ class OfttEngine(ComObject):
             miss_threshold=self.config.heartbeat_miss_threshold,
         )
         self.recovery = RecoveryManager(self.kernel, self.config)
+        #: Replication strategy: owns checkpoint policy, the replication
+        #: stream and role-change reactions (see repro.core.strategy).
+        self.strategy = create_strategy(self.config.replication_strategy)
+        self.strategy.attach(self)
         #: Checkpoints of the *local* application (for local restart).
         self.local_store = CheckpointStore(self.config.checkpoint_history)
         #: Checkpoints mirrored from the *peer's* application (for failover).
@@ -222,7 +224,6 @@ class OfttEngine(ComObject):
         self.monitor.watch(name, self.config.heartbeat_timeout)
         if rule is not None:
             self.recovery.set_rule(name, rule)
-            self.config = self.recovery.config
         if self.config.use_exit_hooks:
             process.on_exit.append(lambda _p, n=name: self._on_component_exit(n))
         self.trace.emit("engine", self.node_name, "component-registered", target=name, kind=kind.value)
@@ -235,9 +236,13 @@ class OfttEngine(ComObject):
         self.monitor.beat(name)
 
     def set_recovery_rule(self, component: str, rule: RecoveryRule) -> None:
-        """Dynamic recovery-rule change (§2.2.1 run-time option)."""
+        """Dynamic recovery-rule change (§2.2.1 run-time option).
+
+        The rule lands in the shared deployment config (see
+        :meth:`RecoveryManager.set_rule`), so the engine, its recovery
+        manager and every other holder of the config stay in agreement.
+        """
         self.recovery.set_rule(component, rule)
-        self.config = self.recovery.config
 
     # -- watchdog management (OFTTWatchdog*) ---------------------------------------------
 
@@ -264,7 +269,7 @@ class OfttEngine(ComObject):
         self.checkpoint_sizes.append(checkpoint.size_bytes())
         self.local_store.store(checkpoint)
         self._stats["checkpoints_tx"] += 1
-        self._send_to_peer({"kind": "ckpt", "data": checkpoint.as_wire()})
+        self.strategy.replicate(checkpoint)
         for callback in list(self.on_checkpoint_submit):
             callback(self, checkpoint)
 
@@ -322,7 +327,7 @@ class OfttEngine(ComObject):
             self.monitor.pause(component)
             self.kernel.schedule(decision.delay, self._local_restart, component)
         elif decision.action is RecoveryAction.FAILOVER:
-            self._initiate_switchover(f"{component}: {decision.reason}")
+            self.strategy.on_failover_escalation(component, decision)
         else:
             self._report_now(component)
 
@@ -397,11 +402,7 @@ class OfttEngine(ComObject):
     def _on_peer_lost(self, silence: float) -> None:
         self.peer_present = False
         self.trace.emit("engine", self.node_name, "peer-lost", silence=round(silence, 3), role=self.role.value)
-        if self.role is Role.BACKUP:
-            self._promote("peer heartbeat loss")
-        elif self.role is Role.PRIMARY:
-            self.degraded = True
-            self._report_now(PEER)
+        self.strategy.on_peer_lost(silence)
 
     def _promote(self, reason: str) -> None:
         self.negotiator.promote()
@@ -484,6 +485,7 @@ class OfttEngine(ComObject):
                 "incarnation": self.negotiator.incarnation,
             }
         )
+        self.strategy.on_heartbeat_tick()
         self.kernel.schedule(self.scaled(self.config.peer_heartbeat_period), self._peer_heartbeat_loop)
 
     def _on_engine_message(self, message) -> None:
@@ -499,6 +501,8 @@ class OfttEngine(ComObject):
             self._on_checkpoint(payload)
         elif kind == "ckpt-ack":
             self._on_checkpoint_ack(payload)
+        elif kind == "ckpt-resync":
+            self.strategy.on_resync_request(payload)
         elif kind == "takeover":
             self._on_takeover_request(payload)
 
@@ -530,13 +534,7 @@ class OfttEngine(ComObject):
             self._dual_backup_streak = 0
 
     def _on_checkpoint(self, payload: Dict[str, Any]) -> None:
-        checkpoint = Checkpoint.from_wire(payload["data"])
-        stored = self.peer_store.store(checkpoint)
-        self._stats["checkpoints_rx"] += 1
-        if stored:
-            self._send_to_peer({"kind": "ckpt-ack", "app": checkpoint.app_name, "sequence": checkpoint.sequence})
-            for callback in list(self.on_checkpoint_stored):
-                callback(self, checkpoint)
+        self.strategy.on_peer_checkpoint(payload)
 
     def _on_checkpoint_ack(self, payload: Dict[str, Any]) -> None:
         self._stats["acks_rx"] += 1
@@ -577,11 +575,7 @@ class OfttEngine(ComObject):
 
     def _on_takeover_request(self, payload: Dict[str, Any]) -> None:
         self.trace.emit("engine", self.node_name, "takeover-request", reason=payload.get("reason", ""))
-        if self.role is Role.BACKUP:
-            self._promote(f"takeover request: {payload.get('reason', '')}")
-        elif self.role is Role.PRIMARY:
-            # Already primary (e.g. raced with peer-loss promotion): fine.
-            self._broadcast_role_change()
+        self.strategy.on_takeover_request(payload)
 
     # -- status reporting ------------------------------------------------------------------------
 

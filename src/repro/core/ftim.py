@@ -140,7 +140,12 @@ class ClientFtim(ServerFtim):
             engine.peer_store.latest_sequence(app_name),
         )
         self._sequence = itertools.count(resume_from + 1)
-        self.checkpoint_period = checkpoint_period if checkpoint_period is not None else engine.config.checkpoint_period
+        # The replication strategy owns the checkpoint policy: period and
+        # whether captures are incremental deltas (leader-follower's
+        # per-update stream) or the paper's periodic full images.
+        self.checkpoint_period, policy_incremental = engine.strategy.checkpoint_policy(
+            app_name, checkpoint_period
+        )
         self.kernel32 = Kernel32(process)
         # The IAT trick: observe CreateThread so dynamically created
         # threads can be checkpointed too (§2.2.2, §3.1).
@@ -152,7 +157,7 @@ class ClientFtim(ServerFtim):
         self.capture_failures = 0
         self.last_sequence = 0
         self._last_image: Dict[str, Dict] = {}
-        self.incremental = False
+        self.incremental = policy_incremental
         self._next_checkpoint_at = self.kernel.now + self.checkpoint_period
 
     # -- designation (OFTTSelSave) ----------------------------------------------------
@@ -174,6 +179,15 @@ class ClientFtim(ServerFtim):
     def clear_selection(self) -> None:
         """Return to full-address-space captures."""
         self._selected.clear()
+
+    def force_full_capture(self) -> None:
+        """Make the next capture a full image (incremental re-base).
+
+        Called when the peer reports it cannot merge our delta stream
+        (``ckpt-resync``): its store lost the base — e.g. a node
+        reinstall — so deltas are unusable until re-anchored.
+        """
+        self._last_image = {}
 
     @property
     def selective(self) -> bool:

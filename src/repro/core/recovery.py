@@ -49,8 +49,17 @@ class RecoveryManager:
         self.decisions: List[RecoveryDecision] = []
 
     def set_rule(self, component: str, rule: RecoveryRule) -> None:
-        """Dynamic rule change (the paper's run-time option)."""
-        self.config = self.config.with_rule(component, rule)
+        """Dynamic rule change (the paper's run-time option).
+
+        Mutates the *shared* config's rule table in place.  Rebinding
+        ``self.config`` to a modified copy (the old behaviour) silently
+        desynced this manager from the engine that constructed it: after
+        one dynamic rule change the two disagreed on every subsequently
+        edited setting.  Both pair nodes hold the same config object, so
+        a run-time rule change is deployment-wide — matching the paper's
+        model of one recovery policy per logical unit.
+        """
+        self.config.recovery_rules[component] = rule
 
     def on_failure(self, component: str, reason: str) -> RecoveryDecision:
         """Record a failure and decide what to do about it."""

@@ -135,6 +135,12 @@ class RoleNegotiator:
             # The engine (and with it, this negotiator) is not up yet; a
             # real node's port would not even be bound.
             return
+        if self.role is Role.SHUTDOWN:
+            # Startup gave up and powered the stack down (§3.2): the same
+            # unbound-port contract applies — a shut-down node must not
+            # keep answering announcements (it used to, via the
+            # rebooted-peer branch below).
+            return
         peer_role = Role(payload["role"])
         peer_incarnation = int(payload.get("incarnation", 0))
         if self.role is Role.UNDECIDED:
@@ -177,6 +183,7 @@ class RoleNegotiator:
         self.trace.emit("role", self.node_name, "dual-primary-demote", peer_incarnation=peer_incarnation)
         self.role = Role.BACKUP
         self.incarnation = peer_incarnation
+        self.decided_at = self.kernel.now
         self.on_demoted()
 
     def _decide(self, role: Role) -> None:
@@ -207,6 +214,9 @@ class RoleNegotiator:
         if self.role is not Role.PRIMARY:
             raise RoleError(f"{self.node_name}: demote from {self.role.value}")
         self.role = Role.BACKUP
+        # Every role change stamps decided_at (promote()/_decide() do),
+        # so demotion-driven transitions account their latency too.
+        self.decided_at = self.kernel.now
         self.trace.emit("role", self.node_name, "demoted")
         self._announce()
 

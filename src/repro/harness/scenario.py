@@ -27,8 +27,9 @@ from repro.apps.history import CallingHistoryGenerator
 from repro.apps.opcserver import OpcServerApp
 from repro.apps.scada import AlarmRule, ScadaMonitorApp
 from repro.core.cluster import OfttPair
-from repro.core.config import OfttConfig
-from repro.core.diverter import DiverterClient
+from repro.core.config import OfttConfig, replace_config
+from repro.core.diverter import DiverterClient, inbox_queue_name
+from repro.core.drsite import DRSite, DR_QUEUE
 from repro.core.monitor import SystemMonitor
 from repro.devices.device import Actuator, Sensor
 from repro.devices.fieldbus import Fieldbus
@@ -344,10 +345,20 @@ class ChaosScenario(_BaseScenario):
     negotiation, checkpointing, MSMQ store-and-forward and the diverter
     redirect path at once, and the invariant monitors have live signals
     (checkpoint hooks, queue conservation counters) to watch.
+
+    The replication strategy comes from ``config.replication_strategy``
+    (or the ``strategy`` shortcut).  Non-default strategies make the
+    workload *message-driven* — the app consumes the diverter inbox and
+    folds ``applied``/``last_n`` into checkpointed state — and
+    ``log-replay-dr`` additionally wires a fourth ``dr-site`` node
+    (checkpoint mirror target + sender-side message log + the
+    :class:`~repro.core.drsite.DRSite` watcher).  The default
+    cold-passive testbed is structurally unchanged.
     """
 
     PAIR_NODES = ("alpha", "beta")
     CLIENT = "client"
+    DR_NODE = "dr-site"
     APP_NAME = "synthetic"
 
     def __init__(
@@ -357,9 +368,19 @@ class ChaosScenario(_BaseScenario):
         dual_lan: bool = False,
         workload_period: float = 200.0,
         checkpoint_period: float = 500.0,
+        strategy: Optional[str] = None,
+        message_driven: Optional[bool] = None,
     ) -> None:
         super().__init__(seed, dual_lan)
         self.config = config or OfttConfig()
+        if strategy is not None and strategy != self.config.replication_strategy:
+            self.config = replace_config(self.config, replication_strategy=strategy)
+        if self.config.replication_strategy == "log-replay-dr" and not self.config.dr_node:
+            self.config = replace_config(self.config, dr_node=self.DR_NODE)
+        self.strategy_name = self.config.replication_strategy
+        self.message_driven = (
+            message_driven if message_driven is not None else self.strategy_name != "cold-passive"
+        )
         self.workload_period = workload_period
         self.workload_sent = 0
         self._workload_on = False
@@ -370,17 +391,40 @@ class ChaosScenario(_BaseScenario):
             self._add_machine(name).boot_immediately()
         self._add_machine(self.CLIENT).boot_immediately()
 
+        inbox = inbox_queue_name("chaos") if self.message_driven else None
         self.pair = OfttPair(
             network=self.network,
             systems={name: self.systems[name] for name in self.PAIR_NODES},
             config=self.config,
             app_factory=lambda: SyntheticStateApp(
-                cold_kb=4, hot_vars=4, tick_period=100.0, checkpoint_period=checkpoint_period
+                cold_kb=4,
+                hot_vars=4,
+                tick_period=100.0,
+                checkpoint_period=checkpoint_period,
+                inbox_queue=inbox,
             ),
             unit="chaos",
             subscriber_nodes=[self.CLIENT],
             trace=self.trace,
         )
+
+        self.dr_site: Optional[DRSite] = None
+        mirror = None
+        if self.strategy_name == "log-replay-dr":
+            dr_system = self._add_machine(self.config.dr_node)
+            dr_system.boot_immediately()
+            self.dr_qmgr = QueueManager(self.kernel, self.network, self.network.nodes[self.config.dr_node])
+            self.dr_qmgr.attach_to_system(dr_system)
+            self.dr_site = DRSite(
+                kernel=self.kernel,
+                system=dr_system,
+                qmgr=self.dr_qmgr,
+                config=self.config,
+                trace=self.trace,
+                app_name=self.APP_NAME,
+                apply_message=SyntheticStateApp.apply_message,
+            )
+            mirror = (self.config.dr_node, DR_QUEUE)
 
         client_node = self.network.nodes[self.CLIENT]
         self.client_qmgr = QueueManager(self.kernel, self.network, client_node)
@@ -391,6 +435,7 @@ class ChaosScenario(_BaseScenario):
             unit="chaos",
             pair_nodes=list(self.PAIR_NODES),
             trace=self.trace,
+            mirror=mirror,
         )
 
     def start(self, settle: bool = True) -> None:

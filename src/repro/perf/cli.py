@@ -26,7 +26,13 @@ from typing import Optional, Sequence
 # oftt-lint: file-ok[ambient-io] -- the perf driver is a host-side CLI.
 from repro.chaos.report import render_json, render_text
 from repro.perf.executor import add_jobs_argument
-from repro.perf.sweep import DEFAULT_THRESHOLDS, DEFAULT_TIMEOUTS, render_rows, sweep_detectors
+from repro.perf.sweep import (
+    DEFAULT_THRESHOLDS,
+    DEFAULT_TIMEOUTS,
+    render_rows,
+    sweep_detectors,
+    sweep_strategies,
+)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -56,6 +62,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help=f"miss thresholds to sweep (default: {DEFAULT_THRESHOLDS})")
     sweep.add_argument("--timeouts", default="", metavar="MS,MS,...",
                        help=f"heartbeat timeouts in ms (default: {DEFAULT_TIMEOUTS})")
+    sweep.add_argument("--strategies", action="store_true",
+                       help="sweep replication strategies over fixed fault stories "
+                            "instead of the detector grid")
     sweep.add_argument("--markdown", action="store_true", help="emit a markdown table")
     sweep.add_argument("--out", default="", help="also write the table to this file")
     add_jobs_argument(sweep)
@@ -103,20 +112,23 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         return check_chaos(options.seeds, options.schedules, options.seed_base, options.jobs)
 
-    try:
-        thresholds = _parse_values(options.thresholds, int)
-        timeouts = _parse_values(options.timeouts, float)
-    except ValueError as exc:
-        print(f"oftt-perf: bad sweep axis value ({exc})", file=sys.stderr)
-        return 2
-    rows = sweep_detectors(
-        thresholds=thresholds,
-        timeouts=timeouts,
-        seeds=options.seeds,
-        schedules=options.schedules,
-        seed_base=options.seed_base,
-        jobs=options.jobs,
-    )
+    if options.strategies:
+        rows = sweep_strategies(seeds=options.seeds, seed_base=options.seed_base, jobs=options.jobs)
+    else:
+        try:
+            thresholds = _parse_values(options.thresholds, int)
+            timeouts = _parse_values(options.timeouts, float)
+        except ValueError as exc:
+            print(f"oftt-perf: bad sweep axis value ({exc})", file=sys.stderr)
+            return 2
+        rows = sweep_detectors(
+            thresholds=thresholds,
+            timeouts=timeouts,
+            seeds=options.seeds,
+            schedules=options.schedules,
+            seed_base=options.seed_base,
+            jobs=options.jobs,
+        )
     rendered = render_rows(rows, markdown=options.markdown) + "\n"
     sys.stdout.write(rendered)
     if options.out:

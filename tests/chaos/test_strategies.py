@@ -1,0 +1,79 @@
+"""Chaos-harness coverage for replication-strategy campaigns.
+
+The monitor suite must be strategy-aware: the replica-freshness monitor
+only arms under leader-follower (and catches a sabotaged update stream),
+the split-brain monitor's DR check only applies when a DR site exists,
+and campaign tasks carry an optional config through the executor.
+"""
+
+from __future__ import annotations
+
+from repro.chaos.cli import campaign
+from repro.chaos.runner import SABOTAGES, run_schedule, run_schedule_task
+from repro.chaos.schedule import ChaosSchedule, FaultEntry
+from repro.core.config import OfttConfig, replace_config
+
+
+def _lf_config():
+    return replace_config(OfttConfig(), replication_strategy="leader-follower")
+
+
+def _quiet_schedule(horizon=15_000.0):
+    return ChaosSchedule(entries=[], horizon=horizon)
+
+
+def test_drop_state_updates_sabotage_registered():
+    assert "drop-state-updates" in SABOTAGES
+
+
+def test_replica_freshness_catches_dropped_update_stream():
+    result = run_schedule(
+        0, _quiet_schedule(), sabotage_name="drop-state-updates", config=_lf_config()
+    )
+    assert "replica-freshness" in result.violation_names()
+
+
+def test_replica_freshness_inert_under_cold_passive():
+    # The same sabotage under the default strategy: no update-stream
+    # promise to break, so the monitor must stay silent (and nothing
+    # else fires on a fault-free run).
+    result = run_schedule(0, _quiet_schedule(), sabotage_name="drop-state-updates")
+    assert result.passed
+
+
+def test_healthy_leader_follower_run_is_clean():
+    result = run_schedule(0, _quiet_schedule(), config=_lf_config())
+    assert result.passed
+
+
+def test_run_schedule_task_accepts_config_tuple():
+    schedule = _quiet_schedule(horizon=10_000.0)
+    three = run_schedule_task((0, schedule, ""))
+    four = run_schedule_task((0, schedule, "", None))
+    assert three.as_wire() == four.as_wire()
+
+    lf = run_schedule_task((0, schedule, "", _lf_config()))
+    assert lf.passed
+
+
+def test_campaign_with_config_runs_under_strategy():
+    dr_config = replace_config(OfttConfig(), replication_strategy="log-replay-dr")
+    results = campaign(1, 1, 0, config=dr_config)
+    assert len(results) == 1
+    assert results[0].passed
+
+
+def test_total_pair_loss_with_dr_violates_no_invariant():
+    # The DR site activating on genuine total pair loss is legitimate —
+    # the split-brain DR check must only fire on activation *alongside*
+    # a serving, reachable primary.
+    schedule = ChaosSchedule(
+        entries=[
+            FaultEntry(8_000.0, "node-failure", {"node": "alpha"}),
+            FaultEntry(8_050.0, "node-failure", {"node": "beta"}),
+        ],
+        horizon=20_000.0,
+    )
+    dr_config = replace_config(OfttConfig(), replication_strategy="log-replay-dr")
+    result = run_schedule(0, schedule, config=dr_config)
+    assert result.passed

@@ -1,8 +1,13 @@
-"""Smoke and shape tests for the detector-sensitivity sweep."""
+"""Smoke and shape tests for the detector and strategy sweeps."""
 
 from __future__ import annotations
 
-from repro.perf.sweep import render_rows, sweep_detectors
+from repro.perf.sweep import (
+    evaluate_strategy_task,
+    render_rows,
+    STRATEGY_SCENARIOS,
+    sweep_detectors,
+)
 
 
 def small_sweep():
@@ -27,6 +32,35 @@ def test_higher_threshold_never_detects_faster():
     fast, slow = rows[0], rows[1]
     if fast["detected"] and slow["detected"]:
         assert slow["mean_latency_ms"] >= fast["mean_latency_ms"]
+
+
+def test_strategy_sweep_total_pair_loss_contrast():
+    # The headline comparison: only log-replay-dr survives losing both
+    # pair nodes — cold-passive has nobody left to recover anything.
+    name, entries = STRATEGY_SCENARIOS[1]
+    assert name == "total-pair-loss"
+    cold = evaluate_strategy_task(("cold-passive", name, entries, 0))
+    assert cold["recovered_by"] == "none"
+    assert cold["applied"] == 0
+    assert cold["lost"] == cold["sent"]
+
+    dr = evaluate_strategy_task(("log-replay-dr", name, entries, 0))
+    assert dr["recovered_by"] == "dr"
+    assert dr["lost"] == 0
+    assert dr["replayed"] > 0
+    assert dr["recovery_ms"] is not None
+
+
+def test_strategy_sweep_leader_follower_narrows_checkpoint_gap():
+    name, entries = STRATEGY_SCENARIOS[0]
+    assert name == "primary-crash"
+    cold = evaluate_strategy_task(("cold-passive", name, entries, 0))
+    lf = evaluate_strategy_task(("leader-follower", name, entries, 0))
+    assert cold["recovered_by"] == lf["recovered_by"] == "pair"
+    # Cold-passive replays into its 2s checkpoint gap; the update stream
+    # loses at most the in-flight tail.
+    assert lf["lost"] <= 2
+    assert cold["lost"] > lf["lost"]
 
 
 def test_render_rows_text_and_markdown():
