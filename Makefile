@@ -5,7 +5,7 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest strategy-matrix perf-gate bench bench-diff verify
+.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest strategy-matrix policy-matrix perf-gate bench bench-diff verify
 
 test:
 	$(PY) -m pytest -x -q
@@ -62,6 +62,15 @@ strategy-matrix: chaos
 	$(PY) -m repro.chaos --smoke --strategy leader-follower
 	$(PY) -m repro.chaos --smoke --strategy log-replay-dr
 
+# The adaptive-policy gate: (1) the mixed drifting fault-mix runs
+# violation-free under the adaptive policy (runtime strategy switches
+# included, flapping/thrash monitors live), and (2) the smoke-sized
+# policy sweep shows adaptive beating every static policy on mean
+# recovery latency at an equal-or-lower spurious-failover count.
+policy-matrix:
+	$(PY) -m repro.chaos --drift mixed --policy --seeds 3 --jobs 2
+	$(PY) -m repro.perf sweep --policies --profiles mixed --seeds 2 --jobs 2 --gate
+
 # The executor contract (see PERF.md): a campaign run at --jobs 2 must
 # render byte-identically to the serial run.
 perf-gate:
@@ -77,4 +86,4 @@ bench:
 bench-diff:
 	$(PY) -m repro.bench diff --latest
 
-verify: test lint lint-tests replay strategy-matrix chaos-selftest perf-gate bench-diff
+verify: test lint lint-tests replay strategy-matrix policy-matrix chaos-selftest perf-gate bench-diff

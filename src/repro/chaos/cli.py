@@ -26,8 +26,19 @@ from typing import List, Optional, Sequence, Tuple
 from repro.chaos.minimize import MinimizationResult, minimize_schedule
 from repro.chaos.report import render_json, render_text
 from repro.chaos.runner import SABOTAGES, RunResult, run_schedule, run_schedule_task
-from repro.chaos.schedule import ChaosSchedule, FaultEntry, ScheduleGenerator
-from repro.core.config import REPLICATION_STRATEGIES, OfttConfig, replace_config
+from repro.chaos.schedule import (
+    DRIFT_PROFILES,
+    ChaosSchedule,
+    FaultEntry,
+    ScheduleGenerator,
+    drift_schedule,
+)
+from repro.core.config import (
+    REPLICATION_STRATEGIES,
+    OfttConfig,
+    RecoveryRule,
+    replace_config,
+)
 from repro.harness.scenario import ChaosScenario
 from repro.perf.executor import add_jobs_argument, parallel_map
 from repro.simnet.random import RngStreams
@@ -49,6 +60,27 @@ SELF_TEST_ENTRIES = [
 SELF_TEST_HORIZON = 20_000.0
 SELF_TEST_SABOTAGE = "disable-dual-primary-resolution"
 
+#: The governor self-test schedule: one sticky crash that keeps killing
+#: the app for two seconds.  Under the adaptive policy with a
+#: deliberately local-heavy rule the thrash detector escalates after two
+#: rapid failures; with the governor sabotaged (``disable-cooldown``)
+#: restarts burn at full speed and the restart-thrash monitor must fire.
+SELF_TEST_THRASH_ENTRIES = [
+    FaultEntry(2_000.0, "sticky-app-crash",
+               {"node": "alpha", "process": "synthetic", "duration": 2_000.0}),
+]
+SELF_TEST_THRASH_HORIZON = 12_000.0
+SELF_TEST_THRASH_SABOTAGE = "disable-cooldown"
+
+
+def _thrash_config() -> OfttConfig:
+    """Adaptive policy + a local-heavy rule worth governing."""
+    return replace_config(
+        OfttConfig(),
+        adaptive_policy=True,
+        default_rule=RecoveryRule(max_local_restarts=50, restart_delay=25.0),
+    )
+
 
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -68,8 +100,17 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the verification-gate preset "
                              f"({SMOKE_SEEDS} seeds x {SMOKE_SCHEDULES} schedules)")
     parser.add_argument("--self-test", action="store_true",
-                        help="sabotage dual-primary resolution and verify the split-brain "
-                             "monitor catches it (expected exit code: 1)")
+                        help="sabotage dual-primary resolution (split-brain monitor) and the "
+                             "adaptive restart governor (restart-thrash monitor) and verify "
+                             "both are caught (expected exit code: 1)")
+    parser.add_argument("--drift", default="", choices=("",) + tuple(sorted(DRIFT_PROFILES)),
+                        metavar="PROFILE",
+                        help="replace generated schedules with the named deterministic "
+                             f"drifting fault-mix ({', '.join(sorted(DRIFT_PROFILES))}); "
+                             "one run per seed")
+    parser.add_argument("--policy", action="store_true",
+                        help="enable the adaptive recovery policy for every run "
+                             "(self-healing governor, proactive failover, strategy switching)")
     parser.add_argument("--max-minimize-runs", type=int, default=64,
                         help="ddmin re-run budget for minimization (default: 64)")
     parser.add_argument("--sabotage", default="", metavar="NAME",
@@ -135,16 +176,66 @@ def campaign(
     return parallel_map(run_schedule_task, tasks, jobs=jobs)
 
 
-def self_test() -> Tuple[List[RunResult], Optional[MinimizationResult]]:
-    """The monitor self-check: broken recovery must be caught and shrunk."""
-    schedule = ChaosSchedule(entries=list(SELF_TEST_ENTRIES), horizon=SELF_TEST_HORIZON)
-    result = run_schedule(0, schedule, sabotage_name=SELF_TEST_SABOTAGE)
+def drift_campaign(
+    profile: str,
+    seeds: int,
+    seed_base: int,
+    sabotage_name: str = "",
+    jobs: int = 1,
+    config: Optional[OfttConfig] = None,
+) -> List[RunResult]:
+    """Run the deterministic drifting fault-mix under *seeds* testbeds.
+
+    The schedule is a pure function of *profile* (no RNG), so each seed
+    runs the identical fault story — only the scenario's own seeded
+    randomness (network jitter, workload) varies.  One run per seed.
+    """
+    schedule = drift_schedule(profile, list(ChaosScenario.PAIR_NODES), ChaosScenario.APP_NAME)
+    tasks: List[Tuple] = [
+        (seed, schedule, sabotage_name) for seed in range(seed_base, seed_base + seeds)
+    ]
+    if config is not None:
+        tasks = [(seed, sched, name, config) for seed, sched, name in tasks]
+    return parallel_map(run_schedule_task, tasks, jobs=jobs)
+
+
+def self_test() -> Tuple[List[RunResult], Optional[MinimizationResult], List[str]]:
+    """The monitor self-check: broken recovery must be caught and shrunk.
+
+    Two sabotage cases, each expected to trip its dedicated monitor:
+
+    * ``disable-dual-primary-resolution`` + partition/heal — split-brain;
+    * ``disable-cooldown`` + adaptive policy + sticky crash —
+      restart-thrash.
+
+    Returns the run results, the minimization of the first failing
+    schedule, and a list of *problems*: cases whose expected monitor did
+    **not** fire (the self-test itself is broken when non-empty).
+    """
+    cases: List[Tuple[str, ChaosSchedule, str, Optional[OfttConfig], str]] = [
+        ("split-brain",
+         ChaosSchedule(entries=list(SELF_TEST_ENTRIES), horizon=SELF_TEST_HORIZON),
+         SELF_TEST_SABOTAGE, None, "split-brain"),
+        ("restart-thrash",
+         ChaosSchedule(entries=list(SELF_TEST_THRASH_ENTRIES), horizon=SELF_TEST_THRASH_HORIZON),
+         SELF_TEST_THRASH_SABOTAGE, _thrash_config(), "restart-thrash"),
+    ]
+    results: List[RunResult] = []
+    problems: List[str] = []
     minimization: Optional[MinimizationResult] = None
-    if not result.passed:
-        minimization = minimize_schedule(
-            0, schedule, result.violation_names()[0], sabotage_name=SELF_TEST_SABOTAGE
-        )
-    return [result], minimization
+    for label, schedule, sabotage_name, config, expected in cases:
+        result = run_schedule(0, schedule, sabotage_name=sabotage_name, config=config)
+        results.append(result)
+        if expected not in result.violation_names():
+            problems.append(
+                f"{label}: sabotage {sabotage_name!r} did not trip the "
+                f"{expected!r} monitor (violations: {result.violation_names()})"
+            )
+        elif minimization is None:
+            minimization = minimize_schedule(
+                0, schedule, expected, sabotage_name=sabotage_name, config=config
+            )
+    return results, minimization, problems
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -160,13 +251,39 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         return 2
 
     config: Optional[OfttConfig] = None
+    overrides = {}
     if options.strategy:
-        config = replace_config(OfttConfig(), replication_strategy=options.strategy)
+        overrides["replication_strategy"] = options.strategy
+    if options.policy:
+        overrides["adaptive_policy"] = True
+    if overrides:
+        config = replace_config(OfttConfig(), **overrides)
 
     minimization: Optional[MinimizationResult] = None
     if options.self_test:
-        results, minimization = self_test()
+        results, minimization, problems = self_test()
         mode = "self-test"
+        if problems:
+            for problem in problems:
+                print(f"oftt-chaos: self-test problem: {problem}", file=sys.stderr)
+            # Force exit 0 ("nothing caught") so the make wrapper, which
+            # expects 1, flags the broken self-test loudly.
+            return 0
+    elif options.drift:
+        results = drift_campaign(options.drift, options.seeds, options.seed_base,
+                                 sabotage_name=options.sabotage, jobs=options.jobs,
+                                 config=config)
+        mode = f"drift:{options.drift}"
+        first_failed = next((r for r in results if not r.passed), None)
+        if first_failed is not None:
+            minimization = minimize_schedule(
+                first_failed.seed,
+                first_failed.schedule,
+                first_failed.violation_names()[0],
+                sabotage_name=first_failed.sabotage,
+                max_runs=options.max_minimize_runs,
+                config=config,
+            )
     else:
         seeds = SMOKE_SEEDS if options.smoke else options.seeds
         schedules = SMOKE_SCHEDULES if options.smoke else options.schedules

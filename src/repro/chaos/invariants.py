@@ -314,9 +314,14 @@ class HeartbeatLivenessMonitor(InvariantMonitor):
     """Healthy connectivity clears peer suspicion within a grace window.
 
     If both engines are alive and the network has been bidirectionally
-    healthy for longer than ``grace``, neither engine may still suspect
-    its peer's heartbeat — a stuck suspicion means the detector lost
-    liveness (it would never trigger switchback/rejoin logic).
+    healthy for longer than ``grace``, neither engine may *keep*
+    suspecting its peer's heartbeat past the grace window — a stuck
+    suspicion means the detector lost liveness (it would never trigger
+    switchback/rejoin logic).  Momentary suspicion is allowed: delay
+    faults (gray nodes, clock skew) legitimately trip the detector
+    without ever breaking ``path_ok`` connectivity, and the next
+    on-time heartbeat clears them; only suspicion that persists for
+    ``grace`` while the network is healthy is a liveness loss.
     """
 
     name = "heartbeat-liveness"
@@ -325,6 +330,7 @@ class HeartbeatLivenessMonitor(InvariantMonitor):
         super().__init__()
         self.grace = grace
         self._healthy_since: float = -1.0
+        self._suspect_since: Dict[str, float] = {}
         self._reported = False
 
     def on_tick(self, scenario: Any, now: float) -> None:
@@ -332,19 +338,25 @@ class HeartbeatLivenessMonitor(InvariantMonitor):
         both_alive = all(pair.engines[name].alive for name in pair.node_names)
         if not (both_alive and _connected_both_ways(scenario)):
             self._healthy_since = -1.0
+            self._suspect_since.clear()
             self._reported = False
             return
         if self._healthy_since < 0:
             self._healthy_since = now
             return
+        for name in pair.node_names:
+            if pair.engines[name].monitor.is_suspected(PEER):
+                self._suspect_since.setdefault(name, now)
+            else:
+                self._suspect_since.pop(name, None)
         if self._reported or now - self._healthy_since <= self.grace:
             return
-        suspicious = [
-            name for name in pair.node_names if pair.engines[name].monitor.is_suspected(PEER)
+        stuck = [
+            name for name, since in self._suspect_since.items() if now - since > self.grace
         ]
-        if suspicious:
+        if stuck:
             self._reported = True
-            self._violate(now, nodes=sorted(suspicious), healthy_for=round(now - self._healthy_since, 3))
+            self._violate(now, nodes=sorted(stuck), healthy_for=round(now - self._healthy_since, 3))
 
 
 class ReplicaFreshnessMonitor(InvariantMonitor):
@@ -434,6 +446,97 @@ class ReplicaFreshnessMonitor(InvariantMonitor):
             )
 
 
+class StrategyFlappingMonitor(InvariantMonitor):
+    """Runtime strategy switching must not flap.
+
+    The adaptive policy may move a pair between replication strategies
+    as the fault regime drifts, but each switch costs a full-image
+    re-base on every FTIM; a policy oscillating faster than its dwell
+    time is burning replication bandwidth for nothing.  More than
+    ``bound`` switches by one engine inside ``window`` ms is flapping.
+    Inert (hooks record nothing, no violations) when no engine ever
+    switches — i.e. whenever the adaptive policy is off.
+    """
+
+    name = "strategy-flapping"
+
+    def __init__(self, bound: int = 3, window: float = 10_000.0) -> None:
+        super().__init__()
+        self.bound = bound
+        self.window = window
+        self._switches: Dict[int, List[float]] = {}  # id(engine) -> switch times
+        self._reported: Dict[int, bool] = {}
+
+    def on_engine(self, engine: Any) -> None:
+        self._switches.setdefault(id(engine), [])
+        self._reported.setdefault(id(engine), False)
+
+        def on_switch(eng: Any, old: str, new: str, reason: str) -> None:
+            times = self._switches[id(eng)]
+            now = eng.kernel.now
+            times.append(now)
+            times[:] = [t for t in times if t >= now - self.window]
+            if len(times) > self.bound and not self._reported[id(eng)]:
+                self._reported[id(eng)] = True
+                self._violate(
+                    now,
+                    node=eng.node_name,
+                    switches=len(times),
+                    window=self.window,
+                    latest=f"{old} -> {new} ({reason})",
+                )
+
+        engine.on_strategy_switch.append(on_switch)
+
+
+class RestartThrashMonitor(InvariantMonitor):
+    """Local restarts must not crash-loop at full speed.
+
+    A component that keeps dying should cost a bounded number of local
+    restarts before the recovery layer escalates (static rules via
+    ``max_local_restarts``, the adaptive policy via its thrash
+    detector + back-off).  A burst of more than ``bound`` restarts by
+    one engine inside ``window`` ms means restart governance is lost —
+    exactly what the ``disable-cooldown`` sabotage removes, so the
+    chaos self-test can prove this monitor catches it.
+    """
+
+    name = "restart-thrash"
+
+    def __init__(self, bound: int = 5, window: float = 4_000.0) -> None:
+        super().__init__()
+        self.bound = bound
+        self.window = window
+        self._last_counts: Dict[int, int] = {}  # id(engine) -> local_restart_count
+        self._bursts: Dict[int, List[Tuple[float, int]]] = {}  # (time, restarts)
+        self._engines: Dict[int, Any] = {}
+        self._reported: Dict[int, bool] = {}
+
+    def on_engine(self, engine: Any) -> None:
+        self._engines[id(engine)] = engine
+        self._last_counts.setdefault(id(engine), engine.local_restart_count)
+        self._bursts.setdefault(id(engine), [])
+        self._reported.setdefault(id(engine), False)
+
+    def on_tick(self, scenario: Any, now: float) -> None:
+        for key, engine in self._engines.items():
+            delta = engine.local_restart_count - self._last_counts[key]
+            self._last_counts[key] = engine.local_restart_count
+            bursts = self._bursts[key]
+            if delta > 0:
+                bursts.append((now, delta))
+            bursts[:] = [(t, n) for t, n in bursts if t >= now - self.window]
+            total = sum(n for _, n in bursts)
+            if total > self.bound and not self._reported[key]:
+                self._reported[key] = True
+                self._violate(
+                    now,
+                    node=engine.node_name,
+                    restarts=total,
+                    window=self.window,
+                )
+
+
 def default_monitors() -> List[InvariantMonitor]:
     """The standard monitor suite (fresh instances)."""
     return [
@@ -443,4 +546,6 @@ def default_monitors() -> List[InvariantMonitor]:
         RecoveryLatencyMonitor(),
         HeartbeatLivenessMonitor(),
         ReplicaFreshnessMonitor(),
+        StrategyFlappingMonitor(),
+        RestartThrashMonitor(),
     ]

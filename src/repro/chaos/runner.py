@@ -66,6 +66,23 @@ def _drop_state_updates(scenario: ChaosScenario) -> None:
         scenario.pair.engines[name].strategy.replicate = lambda checkpoint: None
 
 
+@sabotage("disable-cooldown")
+def _disable_cooldown(scenario: ChaosScenario) -> None:
+    """Remove the adaptive policy's restart governor on both engines.
+
+    With the governor off, back-off between local restarts and the
+    thrash detector's early escalation are both gone: a persistent
+    crash burns restarts at full speed — the failure
+    :class:`RestartThrashMonitor` exists to catch.  Only meaningful
+    when the run's config enables the adaptive policy (and a recovery
+    rule with a local-restart budget worth burning).
+    """
+    for name in scenario.pair.node_names:
+        policy = scenario.pair.engines[name].policy
+        if policy is not None:
+            policy.governor_enabled = False
+
+
 @dataclass
 class RunResult:
     """Outcome of one schedule execution."""

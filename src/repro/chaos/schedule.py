@@ -28,6 +28,9 @@ FAULT_BUILDERS: Dict[str, Callable[[Dict[str, Any]], faultlib.Fault]] = {
     "node-failure": lambda p: faultlib.NodeFailure(p["node"]),
     "bluescreen": lambda p: faultlib.BlueScreen(p["node"]),
     "app-crash": lambda p: faultlib.AppCrash(p["node"], p["process"]),
+    "sticky-app-crash": lambda p: faultlib.StickyAppCrash(
+        p["node"], p["process"], duration=p.get("duration", 3_000.0)
+    ),
     "app-hang": lambda p: faultlib.AppHang(p["node"], p["process"]),
     "middleware-crash": lambda p: faultlib.MiddlewareCrash(p["node"]),
     "node-reboot": lambda p: faultlib.NodeReboot(p["node"]),
@@ -105,6 +108,136 @@ class ChaosSchedule:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+
+# -- drifting fault-mix campaigns --------------------------------------------------
+#
+# Hand-built phased schedules for the adaptive-policy experiments: the
+# fault *mix* changes over the run (crash-loops, then gray noise, then a
+# partition, then a persistent fault), so a policy tuned for any single
+# mix is wrong for part of the run.  Every destructive motif targets
+# BOTH pair nodes symmetrically — which node holds PRIMARY mid-run
+# differs between the policies under comparison, and an asymmetric
+# schedule would grade them on placement luck rather than policy.
+
+#: Length of one drift phase, ms.
+DRIFT_PHASE_LENGTH = 8_000.0
+#: Quiet lead-in before the first phase (role negotiation + settling).
+DRIFT_LEAD_IN = 2_000.0
+#: Recovery tail after the last phase.
+DRIFT_TAIL = 10_000.0
+
+
+def _both(at: float, kind: str, nodes: List[str], params: Dict[str, Any]) -> List[FaultEntry]:
+    return [FaultEntry(at, kind, {"node": node, **params}) for node in nodes]
+
+
+def _drift_crashy(at: float, nodes: List[str], process: str) -> List[FaultEntry]:
+    """Crash-loop regime: alternating crashes and hangs, ~1.2s apart."""
+    entries: List[FaultEntry] = []
+    for offset, kind in (
+        (500.0, "app-crash"),
+        (1_800.0, "app-hang"),
+        (3_000.0, "app-crash"),
+        (4_200.0, "app-hang"),
+        (5_400.0, "app-crash"),
+        (6_600.0, "app-hang"),
+    ):
+        entries.extend(_both(at + offset, kind, nodes, {"process": process}))
+    return entries
+
+
+def _drift_gray(at: float, nodes: List[str], process: str) -> List[FaultEntry]:
+    """Gray regime: egress-delay pulses ramping to a near-timeout delay.
+
+    The small pulses (250–300ms) produce beat-to-beat gaps of 350–400ms:
+    below the default peer timeout but above an aggressively tightened
+    one, and exactly the latency-skew evidence the classifier keys on.
+    The final 650ms step opens a one-off ~750ms gap that trips every
+    miss-threshold-1 detector — only gray-aware tolerance rides it out.
+    A hang lands mid-phase so hang-detection latency is paid *during*
+    the gray noise, not in a quiet lab.
+    """
+    entries: List[FaultEntry] = []
+    for offset, delay in (
+        (500.0, 250.0),
+        (1_000.0, 0.0),
+        (1_500.0, 300.0),
+        (2_000.0, 0.0),
+        (4_500.0, 300.0),
+        (5_000.0, 0.0),
+        (5_500.0, 650.0),
+        (6_500.0, 0.0),
+    ):
+        entries.extend(_both(at + offset, "gray-node", nodes, {"delay": delay}))
+    entries.extend(_both(at + 2_500.0, "app-hang", nodes, {"process": process}))
+    return entries
+
+
+def _drift_partition(at: float, nodes: List[str], process: str) -> List[FaultEntry]:
+    """Partition regime: the pair splits, then the app crashes 250ms in.
+
+    The crash lands inside the stale-heartbeat window (the peer is gone
+    but its watch has not timed out yet): an escalating policy demotes
+    into the void and strands the unit primary-less until peer-loss
+    promotion; staleness-aware deferral restarts locally instead.  The
+    heal arrives inside the split-brain monitor's grace.
+    """
+    entries = [
+        FaultEntry(at + 500.0, "partition", {"side_a": [nodes[0]], "side_b": [nodes[1]]}),
+        FaultEntry(at + 2_500.0, "heal-network", {}),
+    ]
+    entries.extend(_both(at + 750.0, "app-crash", nodes, {"process": process}))
+    return entries
+
+
+def _drift_sticky(at: float, nodes: List[str], process: str) -> List[FaultEntry]:
+    """Persistent-fault regime: a crash that re-kills every relaunch.
+
+    Staggered and non-overlapping across the two nodes, so whichever
+    node holds PRIMARY gets hit and the peer is healthy when it does —
+    local-restart-only policies burn the whole fault duration, while
+    escalating ones move the app out from under it.
+    """
+    return [
+        FaultEntry(at + 500.0, "sticky-app-crash", {"node": nodes[0], "process": process, "duration": 2_000.0}),
+        FaultEntry(at + 4_000.0, "sticky-app-crash", {"node": nodes[1], "process": process, "duration": 2_000.0}),
+    ]
+
+
+_DRIFT_PHASES: Dict[str, Callable[[float, List[str], str], List[FaultEntry]]] = {
+    "crashy": _drift_crashy,
+    "gray": _drift_gray,
+    "partition": _drift_partition,
+    "sticky": _drift_sticky,
+}
+
+#: profile name -> phase sequence.  "mixed" is the drifting mix the
+#: adaptive-vs-static experiments gate on.
+DRIFT_PROFILES: Dict[str, List[str]] = {
+    "crashy": ["crashy"],
+    "gray": ["gray"],
+    "partition": ["partition"],
+    "sticky": ["sticky"],
+    "mixed": ["crashy", "gray", "partition", "sticky"],
+}
+
+#: Fault kinds in drift schedules that directly break the running
+#: application or the pair (used for latency/false-positive attribution).
+DRIFT_DESTRUCTIVE_KINDS = frozenset({"app-crash", "app-hang", "sticky-app-crash", "partition"})
+
+
+def drift_schedule(profile: str, nodes: List[str], process: str) -> ChaosSchedule:
+    """Build the deterministic drifting-mix schedule for *profile*."""
+    phases = DRIFT_PROFILES.get(profile)
+    if phases is None:
+        raise FaultInjectionError(f"unknown drift profile {profile!r}; available: {sorted(DRIFT_PROFILES)}")
+    entries: List[FaultEntry] = []
+    at = DRIFT_LEAD_IN
+    for phase in phases:
+        entries.extend(_DRIFT_PHASES[phase](at, list(nodes), process))
+        at += DRIFT_PHASE_LENGTH
+    return ChaosSchedule(entries=entries, horizon=at + DRIFT_TAIL)
 
 
 #: Fault templates the generator samples from, with relative weights.

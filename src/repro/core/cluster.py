@@ -102,6 +102,7 @@ class OfttPair:
             subscriber_nodes=self._subscriber_nodes,
             preferred_primary=self._preferred_primary,
         )
+        engine.reinstall_hook = lambda node=name: self._policy_reinstall(node)
         self.diverter.open_inbox(qmgr)
         self.contexts[name] = context
         self.engines[name] = engine
@@ -124,6 +125,21 @@ class OfttPair:
         system = self.systems[name]
         if not system.is_up:
             raise OfttError(f"reinstall_node({name}): machine is not up")
+        self._install_node(name)
+        self.engines[name].start()
+
+    def _policy_reinstall(self, name: str) -> None:
+        """Engine-requested reinstall (adaptive ladder stage 3).
+
+        Tears down the requesting engine (orderly, so its apps stop and
+        its FTIMs do not fail-stop a fresh copy) and rebuilds the stack
+        in place — the automated form of :meth:`reinstall_node`.
+        """
+        engine = self.engines.get(name)
+        if engine is not None and engine.alive:
+            engine.shutdown()
+        if not self.systems[name].is_up:
+            return  # machine died since the decision; a reboot hook rebuilds
         self._install_node(name)
         self.engines[name].start()
 

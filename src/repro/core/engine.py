@@ -25,6 +25,7 @@ from repro.core.appdriver import NodeContext, OfttApplication
 from repro.core.checkpoint import Checkpoint, CheckpointStore
 from repro.core.config import OfttConfig, RecoveryAction, RecoveryRule
 from repro.core.heartbeat import HeartbeatMonitor
+from repro.core.policy import AdaptivePolicy
 from repro.core.recovery import RecoveryManager
 from repro.core.roles import Role, RoleNegotiator
 from repro.core.status import ComponentKind, ComponentStatus, StatusReport
@@ -117,6 +118,20 @@ class OfttEngine(ComObject):
         #: stream and role-change reactions (see repro.core.strategy).
         self.strategy = create_strategy(self.config.replication_strategy)
         self.strategy.attach(self)
+        self.strategy_name = self.config.replication_strategy
+        self.strategy_switch_count = 0
+        #: Observation hooks: callbacks (engine, old_name, new_name, reason)
+        #: fired after a runtime strategy switch (flapping monitor).
+        self.on_strategy_switch: List = []
+        #: Deployment-provided ladder stage 3: reinstall this node's
+        #: middleware stack (set by OfttPair; None = fall back to
+        #: switchover).  Only the adaptive policy ever asks for it.
+        self.reinstall_hook = None
+        #: Adaptive policy layer — absent (None) unless opted in, so the
+        #: default configuration's behaviour is byte-identical.
+        self.policy: Optional[AdaptivePolicy] = (
+            AdaptivePolicy(self) if self.config.adaptive_policy else None
+        )
         #: Checkpoints of the *local* application (for local restart).
         self.local_store = CheckpointStore(self.config.checkpoint_history)
         #: Checkpoints mirrored from the *peer's* application (for failover).
@@ -158,6 +173,8 @@ class OfttEngine(ComObject):
         self.monitor.start()
         self._peer_heartbeat_loop()
         self._status_report_loop()
+        if self.policy is not None:
+            self.policy.start()
         self.negotiator.begin()
         self.trace.emit("engine", self.node_name, "engine-started")
 
@@ -182,6 +199,8 @@ class OfttEngine(ComObject):
         # §4 demo (d): middleware failure.  Everything engine-driven stops.
         self.stopped = True
         self.monitor.stop()
+        if self.policy is not None:
+            self.policy.stop()
         # Sorted so teardown side effects (timer cancels, traces) fire in
         # a name-stable order regardless of watchdog creation history.
         for name in sorted(self.watchdogs):
@@ -313,7 +332,10 @@ class OfttEngine(ComObject):
             return  # already being handled
         record.status = ComponentStatus.FAILED
         self._report_now(component)
-        decision = self.recovery.on_failure(component, reason)
+        if self.policy is not None:
+            decision = self.policy.decide(component, reason)
+        else:
+            decision = self.recovery.on_failure(component, reason)
         self.trace.emit(
             "engine",
             self.node_name,
@@ -328,6 +350,8 @@ class OfttEngine(ComObject):
             self.kernel.schedule(decision.delay, self._local_restart, component)
         elif decision.action is RecoveryAction.FAILOVER:
             self.strategy.on_failover_escalation(component, decision)
+        elif decision.action is RecoveryAction.REINSTALL:
+            self._initiate_reinstall(component, decision.reason)
         else:
             self._report_now(component)
 
@@ -396,6 +420,59 @@ class OfttEngine(ComObject):
         if record is not None:
             record.status = ComponentStatus.RUNNING
         self.monitor.resume(component)
+
+    # -- reinstall (escalation ladder stage 3) -------------------------------------------------
+
+    def _initiate_reinstall(self, component: str, reason: str) -> None:
+        """Last rung of the adaptive ladder: rebuild this node's stack.
+
+        Reached only when local restarts are exhausted *and* a
+        switchover already failed for want of a peer — at that point the
+        middleware itself is the remaining suspect (the paper's manual
+        remedy: reinstall OFTT on the node).  The deployment wires
+        :attr:`reinstall_hook`; without one we degrade to the switchover
+        path, which retries local restarts when the peer is absent.
+        """
+        self.trace.emit("engine", self.node_name, "reinstall-initiated", target=component, reason=reason)
+        if self.reinstall_hook is None:
+            self._initiate_switchover(reason)
+            return
+        # Deferred one event: the hook tears this engine down, which
+        # must not happen inside our own failure-handling frame.
+        self.kernel.schedule(0.0, self.reinstall_hook)
+
+    # -- runtime strategy switching ------------------------------------------------------------
+
+    def switch_strategy(self, name: str, reason: str) -> None:
+        """Move the live pair onto replication strategy *name*.
+
+        Safe-handoff protocol, all inside one simulator event so no
+        checkpoint or engine message can interleave with a half-switched
+        state: (1) quiesce — nothing is in flight once we are here;
+        (2) atomic swap of the strategy object; (3) re-base every
+        checkpointing FTIM via ``force_full_capture`` so no post-switch
+        delta references a base the peer merged under the old rules;
+        (4) resume — the FTIMs' next periodic capture uses the new
+        policy.  The backup follows the primary's choice via the
+        ``strategy`` field on heartbeats.
+        """
+        if not self.alive or name == self.strategy_name:
+            return
+        old_name = self.strategy_name
+        new_strategy = create_strategy(name)
+        new_strategy.attach(self)
+        self.strategy = new_strategy
+        self.strategy_name = name
+        self.strategy_switch_count += 1
+        for app in self.applications.values():
+            ftim = getattr(getattr(app, "api", None), "ftim", None)
+            if ftim is not None and ftim.takes_checkpoints:
+                ftim.apply_checkpoint_policy(new_strategy)
+        self.trace.emit(
+            "engine", self.node_name, "strategy-switched", strategy=name, previous=old_name, reason=reason
+        )
+        for callback in list(self.on_strategy_switch):
+            callback(self, old_name, name, reason)
 
     # -- peer handling -----------------------------------------------------------------------
 
@@ -477,14 +554,18 @@ class OfttEngine(ComObject):
     def _peer_heartbeat_loop(self) -> None:
         if not self.alive:
             return
-        self._send_to_peer(
-            {
-                "kind": "hb",
-                "node": self.node_name,
-                "role": self.role.value,
-                "incarnation": self.negotiator.incarnation,
-            }
-        )
+        payload = {
+            "kind": "hb",
+            "node": self.node_name,
+            "role": self.role.value,
+            "incarnation": self.negotiator.incarnation,
+        }
+        if self.policy is not None:
+            # Lets the backup follow a runtime strategy switch.  Only
+            # added with the policy on, keeping default wire bytes (and
+            # thus traces) identical to the static build.
+            payload["strategy"] = self.strategy_name
+        self._send_to_peer(payload)
         self.strategy.on_heartbeat_tick()
         self.kernel.schedule(self.scaled(self.config.peer_heartbeat_period), self._peer_heartbeat_loop)
 
@@ -517,6 +598,15 @@ class OfttEngine(ComObject):
         if not was_present or peer_role is Role.PRIMARY:
             # Role-carrying heartbeats double as announcements.
             self.negotiator.on_peer_announce(payload)
+        peer_strategy = payload.get("strategy")
+        if (
+            self.policy is not None
+            and peer_strategy
+            and peer_role is Role.PRIMARY
+            and self.role is not Role.PRIMARY
+            and peer_strategy != self.strategy_name
+        ):
+            self.switch_strategy(peer_strategy, "follow primary")
         self._check_dual_backup(peer_role)
 
     def _check_dual_backup(self, peer_role: Role) -> None:

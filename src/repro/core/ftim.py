@@ -143,6 +143,9 @@ class ClientFtim(ServerFtim):
         # The replication strategy owns the checkpoint policy: period and
         # whether captures are incremental deltas (leader-follower's
         # per-update stream) or the paper's periodic full images.
+        # The caller's request is kept so a runtime strategy switch can
+        # re-derive the policy from the same inputs.
+        self.requested_period = checkpoint_period
         self.checkpoint_period, policy_incremental = engine.strategy.checkpoint_policy(
             app_name, checkpoint_period
         )
@@ -188,6 +191,22 @@ class ClientFtim(ServerFtim):
         reinstall — so deltas are unusable until re-anchored.
         """
         self._last_image = {}
+
+    def apply_checkpoint_policy(self, strategy) -> None:
+        """Adopt a new strategy's checkpoint policy (runtime switch).
+
+        Re-derives period and incremental mode from the original
+        request, re-bases via :meth:`force_full_capture` (a delta taken
+        under the new strategy must not reference a base the peer
+        merged under the old one's rules), and re-anchors the periodic
+        schedule so the first capture under the new policy happens one
+        fresh period from now.
+        """
+        self.checkpoint_period, self.incremental = strategy.checkpoint_policy(
+            self.app_name, self.requested_period
+        )
+        self.force_full_capture()
+        self._next_checkpoint_at = self.kernel.now + self.checkpoint_period
 
     @property
     def selective(self) -> bool:

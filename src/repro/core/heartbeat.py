@@ -44,6 +44,15 @@ class _Watch:
     enabled: bool = True
     #: Consecutive sweeps that found this component past its timeout.
     misses: int = 0
+    #: The timeout registered at watch(); ``tune`` scales from this so
+    #: repeated tuning never compounds.
+    base_timeout: float = 0.0
+    #: Per-watch miss threshold override (None = the monitor default).
+    miss_tolerance: Optional[int] = None
+    #: Largest inter-arrival gap observed, and when it was observed —
+    #: the latency-skew signal the adaptive classifier reads.
+    last_gap: float = 0.0
+    last_gap_at: float = 0.0
 
 
 class HeartbeatMonitor:
@@ -70,7 +79,32 @@ class HeartbeatMonitor:
 
     def watch(self, component: str, timeout: float) -> None:
         """Start monitoring *component*; its clock starts now."""
-        self._watches[component] = _Watch(timeout=timeout, last_beat=self.kernel.now)
+        self._watches[component] = _Watch(
+            timeout=timeout, last_beat=self.kernel.now, base_timeout=timeout
+        )
+
+    def tune(
+        self,
+        component: str,
+        timeout_scale: Optional[float] = None,
+        miss_tolerance: Optional[int] = None,
+    ) -> None:
+        """Adjust one watch's sensitivity at run time.
+
+        ``timeout_scale`` multiplies the timeout registered at
+        :meth:`watch` (scaling from the base, so successive tunes replace
+        rather than compound).  ``miss_tolerance`` overrides the
+        monitor-wide miss threshold for this watch only.  Passing ``None``
+        for either restores the default.  No-op for unknown components.
+        """
+        watch = self._watches.get(component)
+        if watch is None:
+            return
+        if timeout_scale is None:
+            watch.timeout = watch.base_timeout
+        else:
+            watch.timeout = watch.base_timeout * timeout_scale
+        watch.miss_tolerance = miss_tolerance
 
     def unwatch(self, component: str) -> None:
         """Stop monitoring (idempotent)."""
@@ -104,10 +138,28 @@ class HeartbeatMonitor:
         watch = self._watches.get(component)
         if watch is None:
             return
+        if watch.beats_received > 0:
+            gap = self.kernel.now - watch.last_beat
+            if gap >= watch.last_gap or watch.last_gap_at < watch.last_beat:
+                watch.last_gap = gap
+                watch.last_gap_at = self.kernel.now
         watch.last_beat = self.kernel.now
         watch.beats_received += 1
         watch.suspected = False
         watch.misses = 0
+
+    def largest_gap(self, component: str) -> Optional[float]:
+        """Largest beat-to-beat gap recently observed (None if unknown).
+
+        ``beat`` keeps the running maximum but lets a smaller gap
+        replace a stale one (recorded before the previous beat), so the
+        value tracks the *current* delivery regime rather than the
+        worst moment of the whole run.
+        """
+        watch = self._watches.get(component)
+        if watch is None or watch.beats_received < 2:
+            return None
+        return watch.last_gap
 
     def silence(self, component: str) -> Optional[float]:
         """How long *component* has been silent (None if unknown)."""
@@ -147,7 +199,12 @@ class HeartbeatMonitor:
             silence = now - watch.last_beat
             if silence > watch.timeout:
                 watch.misses += 1
-                if watch.misses >= self.miss_threshold:
+                threshold = (
+                    watch.miss_tolerance
+                    if watch.miss_tolerance is not None
+                    else self.miss_threshold
+                )
+                if watch.misses >= threshold:
                     watch.suspected = True
                     self.on_failure(component, silence)
             else:

@@ -1,0 +1,358 @@
+"""Adaptive fault-tolerance policy: the layer between detection and action.
+
+The paper's engine wires detection (heartbeat silence, watchdog expiry,
+process exit) straight into a *static* recovery rule (§2.2.1): N local
+restarts inside a window, then escalate.  That is the right default, but
+it leaves three failure shapes on the table:
+
+* **Crash loops** burn every budgeted restart at full speed before
+  escalating, even when the first two restarts already proved the fault
+  is not transient.
+* **Gray nodes** (§3.1's unreliable-signal world: delayed heartbeats,
+  perfmon counters that cannot be trusted for liveness) trip the peer
+  watch and cause spurious failovers, while genuinely hung components
+  wait out the full default timeout.
+* **Fault regimes drift**: the replication strategy chosen at install
+  time is not the right one for every phase of a deployment's life.
+
+:class:`AdaptivePolicy` closes these gaps with three cooperating parts:
+
+1. *Self-healing restart governance* — exponential back-off between
+   local restarts, a thrash detector that escalates a crash-looping
+   component early, an escalation ladder (local restart → switchover →
+   middleware reinstall), and history clearing after sustained
+   stability so an old incident never taxes a new one.
+2. *Anomaly-driven proactive failover* — :class:`FaultClassifier`
+   consumes the heartbeat stream (miss-rate drift, inter-arrival skew)
+   and :class:`~repro.nt.perfmon.PerfMon` counters to label the current
+   fault regime; the policy re-tunes watch sensitivity per regime and
+   can declare a component failed before its heartbeat timeout fires.
+3. *Runtime strategy switching* — when the regime calls for a hotter
+   standby the policy moves the live pair onto a different replication
+   strategy through the engine's safe-handoff protocol, with a dwell
+   time so regime flicker never turns into strategy flapping.
+
+Everything here is gated on ``OfttConfig.adaptive_policy``: with the
+flag off (the default) no policy object exists and the engine's traces
+are byte-identical to the static-rule build.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, replace
+from enum import Enum
+from typing import TYPE_CHECKING, Deque, Dict, List, Optional
+
+from repro.core.config import RecoveryAction
+from repro.core.recovery import RecoveryDecision
+from repro.core.roles import Role
+from repro.core.status import ComponentStatus
+from repro.core.strategy import PEER
+from repro.nt.perfmon import PerfMon
+
+if TYPE_CHECKING:
+    from repro.core.engine import OfttEngine
+
+
+class FaultRegime(Enum):
+    """Classifier verdict about the deployment's current fault shape."""
+
+    HEALTHY = "healthy"
+    #: Components are crashing repeatedly (or perfmon corroborates a
+    #: vanished process): favour fast detection and hot standby.
+    CRASHY = "transient-crashy"
+    #: Peer heartbeats arrive but late/skewed — a gray node or link.
+    #: Favour failover *suppression*: demand more evidence before
+    #: declaring the peer dead.
+    GRAY = "gray"
+    #: Peer heartbeats have stopped entirely while the local node is
+    #: otherwise fine.  Failover would demote into a void.
+    PARTITIONED = "partitioned"
+
+
+@dataclass
+class PolicyDecision:
+    """One entry in the policy's (ring-buffered) decision log."""
+
+    time: float
+    kind: str  # "recovery" | "regime" | "proactive" | "switch" | "clear"
+    component: str
+    detail: str
+
+
+class FaultClassifier:
+    """Labels the fault regime from heartbeat and perfmon evidence.
+
+    Heartbeats are the primary signal (the paper's only trustworthy
+    one); perfmon counters corroborate but never alone condemn — §3.1's
+    finding is that NT perfmon lies about *identity* (thread start
+    addresses all point into ntdll) yet its process/thread *counts* are
+    usable as a second opinion.
+    """
+
+    def __init__(self, engine: "OfttEngine") -> None:
+        self.engine = engine
+        self.kernel = engine.kernel
+        self.config = engine.config
+        self.perfmon = PerfMon(engine.context.system)
+        self.regime = FaultRegime.HEALTHY
+        self._crash_events: List[float] = []
+        self._gray_evidence_at: Optional[float] = None
+        self._perfmon_anomaly_at: Optional[float] = None
+
+    def note_component_failure(self, _component: str) -> None:
+        """A component failure was handled; counts as crash evidence."""
+        self._crash_events.append(self.kernel.now)
+
+    def sample(self) -> None:
+        """Refresh evidence from the heartbeat and perfmon streams."""
+        now = self.kernel.now
+        window = self.config.policy_anomaly_window
+        self._crash_events = [t for t in self._crash_events if t >= now - window]
+        # Latency skew: the largest recent beat-to-beat gap on the peer
+        # channel.  A gap well past the send period with beats still
+        # arriving is the gray-node signature — delay, not death.
+        gap = self.engine.monitor.largest_gap(PEER)
+        if gap is not None and gap > self.config.policy_gray_gap_factor * self.config.peer_heartbeat_period:
+            self._gray_evidence_at = now
+        if self.perfmon_missing():
+            self._perfmon_anomaly_at = now
+
+    def perfmon_missing(self) -> List[str]:
+        """Components the engine believes RUNNING whose process has
+        vanished from the perfmon process table (no exit hook fired)."""
+        names = set(self.perfmon.process_names())
+        missing = []
+        for name in sorted(self.engine.components):
+            record = self.engine.components[name]
+            app = self.engine.applications.get(name)
+            if app is None or record.status is not ComponentStatus.RUNNING:
+                continue
+            if not app.running and name not in names:
+                missing.append(name)
+        return missing
+
+    def classify(self) -> FaultRegime:
+        """Label the current regime (most constraining evidence wins)."""
+        now = self.kernel.now
+        window = self.config.policy_anomaly_window
+        fresh = lambda at: at is not None and now - at <= window  # noqa: E731
+        crashes = len(self._crash_events)
+        crashy = crashes >= self.config.policy_crashy_threshold or (
+            crashes >= 1 and fresh(self._perfmon_anomaly_at)
+        )
+        if not self.engine.peer_present:
+            # Peer silence dominates: whatever else is wrong, failover
+            # has nowhere to go, so act conservatively.
+            self.regime = FaultRegime.PARTITIONED
+        elif crashy:
+            self.regime = FaultRegime.CRASHY
+        elif fresh(self._gray_evidence_at):
+            self.regime = FaultRegime.GRAY
+        else:
+            self.regime = FaultRegime.HEALTHY
+        return self.regime
+
+
+class AdaptivePolicy:
+    """Regime-aware recovery governance for one engine.
+
+    Sits between the engine's failure handler and the static
+    :class:`~repro.core.recovery.RecoveryManager`: the manager still
+    produces the baseline decision, the policy amends it (back-off,
+    early escalation, deferral) and owns the periodic regime loop.
+    """
+
+    def __init__(self, engine: "OfttEngine") -> None:
+        self.engine = engine
+        self.kernel = engine.kernel
+        self.config = engine.config
+        self.classifier = FaultClassifier(engine)
+        #: Ring-buffered audit log (same bound as RecoveryManager's).
+        self.decisions: Deque[PolicyDecision] = deque(maxlen=self.config.decision_log_limit)
+        #: Thrash/cooldown governor switch — chaos sabotage target
+        #: ("disable-cooldown" proves the thrash monitor catches its loss).
+        self.governor_enabled = True
+        #: Escalation ladder stage per component: 0 = local restarts,
+        #: 1 = switchover attempted, 2 = reinstall reached.
+        self._stage: Dict[str, int] = {}
+        self._recent: Dict[str, List[float]] = {}
+        self._last_failure_at: Dict[str, float] = {}
+        self._tuned_regime: Optional[FaultRegime] = None
+        self._last_switch_at: Optional[float] = None
+        self._running = False
+
+    # -- recovery governance ------------------------------------------------------
+
+    def decide(self, component: str, reason: str) -> RecoveryDecision:
+        """Amend the static rule's decision for one failure event."""
+        base = self.engine.recovery.on_failure(component, reason)
+        now = self.kernel.now
+        cfg = self.config
+        self.classifier.note_component_failure(component)
+        self._last_failure_at[component] = now
+        decision = base
+        if self.governor_enabled:
+            recent = self._recent.setdefault(component, [])
+            recent[:] = [t for t in recent if t >= now - cfg.policy_thrash_window]
+            recent.append(now)
+            thrashing = len(recent) >= cfg.policy_thrash_threshold
+            if base.action is RecoveryAction.LOCAL_RESTART:
+                if thrashing:
+                    # Crash loop: stop burning restarts, climb the ladder.
+                    decision = self._escalate(
+                        base,
+                        f"{reason} (thrash: {len(recent)} failures in "
+                        f"{cfg.policy_thrash_window:.0f}ms)",
+                    )
+                else:
+                    # Exponential back-off between local attempts.
+                    delay = min(
+                        base.delay * cfg.policy_cooldown_backoff ** (base.restart_number - 1),
+                        cfg.policy_cooldown_max,
+                    )
+                    decision = replace(base, delay=delay)
+            elif base.action is RecoveryAction.FAILOVER:
+                decision = self._escalate(base, base.reason)
+        # Peer-stale deferral: a failover decided while the peer looks
+        # stale would demote us into a void (the takeover message dies
+        # on the wire and the backup's own peer-loss promotion races a
+        # multi-hundred-ms outage).  Restart locally instead; the ladder
+        # stage is kept so the next failure can still escalate.
+        if decision.action is RecoveryAction.FAILOVER and self._peer_stale():
+            rule = cfg.rule_for(component)
+            decision = replace(
+                decision,
+                action=RecoveryAction.LOCAL_RESTART,
+                restart_number=max(1, base.restart_number),
+                delay=rule.restart_delay,
+                reason=f"{decision.reason} (deferred: peer stale)",
+            )
+        self._log("recovery", component, f"{decision.action.value}: {decision.reason}")
+        return decision
+
+    def _escalate(self, base: RecoveryDecision, reason: str) -> RecoveryDecision:
+        """Next rung of the ladder: switchover, then reinstall.
+
+        Reinstall is only reached when a switchover was already tried
+        and the peer still is not there to take over — the middleware
+        stack itself is the remaining suspect.
+        """
+        stage = self._stage.get(base.component, 0)
+        if stage >= 1 and not self.engine.peer_present:
+            self._stage[base.component] = 2
+            action = RecoveryAction.REINSTALL
+        else:
+            self._stage[base.component] = max(stage, 1)
+            action = RecoveryAction.FAILOVER
+        return replace(base, action=action, restart_number=0, delay=0.0, reason=reason)
+
+    def _peer_stale(self) -> bool:
+        if not self.engine.peer_present:
+            return True
+        silence = self.engine.monitor.silence(PEER)
+        return (
+            silence is not None
+            and silence > self.config.policy_peer_stale_factor * self.config.peer_heartbeat_period
+        )
+
+    # -- periodic regime loop -----------------------------------------------------
+
+    def start(self) -> None:
+        """Begin the regime loop (same cadence as the heartbeat sweep)."""
+        if self._running:
+            return
+        self._running = True
+        self.kernel.schedule(self.engine.scaled(self.config.heartbeat_period), self._tick)
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _tick(self) -> None:
+        if not self._running or not self.engine.alive:
+            return
+        self.classifier.sample()
+        regime = self.classifier.classify()
+        self._apply_regime(regime)
+        if self.config.policy_proactive_failover:
+            self._proactive_check()
+        if self.config.policy_switch_strategies:
+            self._maybe_switch_strategy(regime)
+        self._stability_sweep()
+        self.kernel.schedule(self.engine.scaled(self.config.heartbeat_period), self._tick)
+
+    def _apply_regime(self, regime: FaultRegime) -> None:
+        if regime is self._tuned_regime:
+            return
+        monitor = self.engine.monitor
+        cfg = self.config
+        # Component watches are same-node direct calls — no network
+        # between the FTIM and the engine — so tightening them converts
+        # hang-detection latency into almost no false-positive risk.
+        # The peer watch rides the LAN and gets the opposite treatment:
+        # under gray evidence it must tolerate more consecutive misses.
+        tighten = regime in (FaultRegime.CRASHY, FaultRegime.GRAY)
+        for name in sorted(self.engine.components):
+            monitor.tune(name, timeout_scale=cfg.policy_tighten_scale if tighten else None)
+        if regime is FaultRegime.GRAY:
+            monitor.tune(PEER, miss_tolerance=cfg.policy_gray_miss_tolerance)
+        else:
+            monitor.tune(PEER)
+        self._tuned_regime = regime
+        self.engine.trace.emit("engine", self.engine.node_name, "policy-regime", regime=regime.value)
+        self._log("regime", "*", regime.value)
+
+    def _proactive_check(self) -> None:
+        """Act on perfmon evidence before the heartbeat timeout fires."""
+        for name in self.classifier.perfmon_missing():
+            if self.engine.monitor.is_suspected(name):
+                continue
+            self._log("proactive", name, "perfmon: process vanished")
+            self.engine.trace.emit(
+                "engine", self.engine.node_name, "policy-proactive", target=name
+            )
+            self.engine._handle_component_failure(name, "perfmon: process vanished")
+
+    def _maybe_switch_strategy(self, regime: FaultRegime) -> None:
+        if self.engine.role is not Role.PRIMARY:
+            return  # the backup follows the primary via heartbeats
+        base = self.config.replication_strategy
+        if base not in ("cold-passive", "leader-follower"):
+            # A DR-wired baseline has topology (the mirror site) the
+            # policy cannot re-create; leave it alone.
+            return
+        if regime is FaultRegime.PARTITIONED:
+            return  # the peer cannot follow a switch it cannot hear
+        target = "leader-follower" if regime in (FaultRegime.CRASHY, FaultRegime.GRAY) else base
+        if target == self.engine.strategy_name:
+            return
+        now = self.kernel.now
+        if self._last_switch_at is not None and now - self._last_switch_at < self.config.policy_switch_dwell:
+            return  # dwell: regime flicker must not become strategy flapping
+        self._last_switch_at = now
+        self._log("switch", "*", f"{self.engine.strategy_name} -> {target} ({regime.value})")
+        self.engine.switch_strategy(target, f"regime {regime.value}")
+
+    def _stability_sweep(self) -> None:
+        """Forget old incidents after sustained stability."""
+        now = self.kernel.now
+        for component in sorted(self._last_failure_at):
+            if now - self._last_failure_at[component] < self.config.policy_stability_window:
+                continue
+            record = self.engine.components.get(component)
+            if record is not None and record.status is not ComponentStatus.RUNNING:
+                continue
+            del self._last_failure_at[component]
+            self._stage.pop(component, None)
+            self._recent.pop(component, None)
+            self.engine.recovery.clear(component)
+            self._log("clear", component, "stable; history cleared")
+
+    def _log(self, kind: str, component: str, detail: str) -> None:
+        self.decisions.append(
+            PolicyDecision(time=self.kernel.now, kind=kind, component=component, detail=detail)
+        )
+
+    def __repr__(self) -> str:
+        return f"AdaptivePolicy(regime={self.classifier.regime.value}, decisions={len(self.decisions)})"

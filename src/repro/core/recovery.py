@@ -14,8 +14,9 @@ escalates (normally to failover).
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass, field
-from typing import Dict, List
+from typing import Deque, Dict, List
 
 from repro.core.config import OfttConfig, RecoveryAction, RecoveryRule
 from repro.simnet.kernel import SimKernel
@@ -46,7 +47,10 @@ class RecoveryManager:
         self.kernel = kernel
         self.config = config
         self._history: Dict[str, _History] = {}
-        self.decisions: List[RecoveryDecision] = []
+        #: Ring buffer of recent decisions: soak campaigns run long enough
+        #: that an unbounded list is a real leak, and nothing needs more
+        #: history than the configured window.
+        self.decisions: Deque[RecoveryDecision] = deque(maxlen=config.decision_log_limit)
 
     def set_rule(self, component: str, rule: RecoveryRule) -> None:
         """Dynamic rule change (the paper's run-time option).
@@ -94,8 +98,18 @@ class RecoveryManager:
         self._history.pop(component, None)
 
     def failure_count(self, component: str) -> int:
-        """Failures currently inside the component's window."""
-        return len(self._history.get(component, _History()).failures)
+        """Failures currently inside the component's window.
+
+        Prunes with the same ``t >= cutoff`` predicate as
+        :meth:`on_failure`; without this, callers polling between events
+        saw phantom failures that had already aged out of the window.
+        """
+        history = self._history.get(component)
+        if history is None:
+            return 0
+        cutoff = self.kernel.now - self.config.rule_for(component).transient_window
+        history.failures = [t for t in history.failures if t >= cutoff]
+        return len(history.failures)
 
     def __repr__(self) -> str:
         return f"RecoveryManager(decisions={len(self.decisions)})"

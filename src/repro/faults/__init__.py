@@ -32,6 +32,7 @@ from repro.faults.faultlib import (
     NodeFailure,
     NodeReboot,
     ReinstallMiddleware,
+    StickyAppCrash,
     TransientAppCrash,
 )
 from repro.faults.injector import FaultInjector
@@ -60,5 +61,6 @@ __all__ = [
     "NodeFailure",
     "NodeReboot",
     "ReinstallMiddleware",
+    "StickyAppCrash",
     "TransientAppCrash",
 ]

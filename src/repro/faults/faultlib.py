@@ -100,6 +100,52 @@ class TransientAppCrash(AppCrash):
         return f"transient application failure: {self.process_name} on {self.node}"
 
 
+class StickyAppCrash(AppCrash):
+    """A crash that re-kills the process for *duration* ms.
+
+    Models a persistent software fault (corrupt install, poison input
+    replayed from the checkpoint): every relaunch on the same node dies
+    again until the fault expires.  Local-restart-only policies burn
+    the whole duration; escalating policies move the app to the peer,
+    where the fault does not follow.  A stomp loop re-checks every
+    *recheck* ms via the system kernel; it disarms itself when the
+    duration elapses or the machine goes down.
+    """
+
+    def __init__(
+        self, node: str, process_name: str, duration: float = 3_000.0, recheck: float = 50.0
+    ) -> None:
+        if duration <= 0.0:
+            raise FaultInjectionError(f"sticky-crash duration must be positive, got {duration}")
+        if recheck <= 0.0:
+            raise FaultInjectionError(f"sticky-crash recheck must be positive, got {recheck}")
+        super().__init__(node, process_name)
+        self.duration = duration
+        self.recheck = recheck
+        self._armed = False
+
+    def apply(self, env: Any) -> None:
+        system = self._system(env, self.node)
+        if self._armed:
+            return
+        self._armed = True
+        kernel = system.kernel
+        expires_at = kernel.now + self.duration
+
+        def stomp() -> None:
+            if kernel.now >= expires_at or system.state is not SystemState.UP:
+                return
+            process = system.find_process(self.process_name)
+            if process is not None and process.alive:
+                process.kill(code=-9)
+            kernel.schedule(self.recheck, stomp)
+
+        stomp()
+
+    def describe(self) -> str:
+        return f"sticky application failure: {self.process_name} on {self.node} for {self.duration}ms"
+
+
 class AppHang(Fault):
     """The application wedges: process alive, threads stuck (heartbeats stop)."""
 

@@ -370,11 +370,14 @@ class ChaosScenario(_BaseScenario):
         checkpoint_period: float = 500.0,
         strategy: Optional[str] = None,
         message_driven: Optional[bool] = None,
+        adaptive: Optional[bool] = None,
     ) -> None:
         super().__init__(seed, dual_lan)
         self.config = config or OfttConfig()
         if strategy is not None and strategy != self.config.replication_strategy:
             self.config = replace_config(self.config, replication_strategy=strategy)
+        if adaptive is not None and adaptive != self.config.adaptive_policy:
+            self.config = replace_config(self.config, adaptive_policy=adaptive)
         if self.config.replication_strategy == "log-replay-dr" and not self.config.dr_node:
             self.config = replace_config(self.config, dr_node=self.DR_NODE)
         self.strategy_name = self.config.replication_strategy

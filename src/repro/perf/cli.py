@@ -15,6 +15,7 @@ Examples::
 
     python -m repro.perf check-chaos --seeds 2 --schedules 2 --jobs 2
     oftt-perf sweep --seeds 4 --schedules 3 --jobs 0 --markdown
+    oftt-perf sweep --policies --seeds 3 --jobs 0 --markdown --gate
 """
 
 from __future__ import annotations
@@ -29,8 +30,10 @@ from repro.perf.executor import add_jobs_argument
 from repro.perf.sweep import (
     DEFAULT_THRESHOLDS,
     DEFAULT_TIMEOUTS,
+    policy_gate,
     render_rows,
     sweep_detectors,
+    sweep_policies,
     sweep_strategies,
 )
 
@@ -65,6 +68,14 @@ def build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--strategies", action="store_true",
                        help="sweep replication strategies over fixed fault stories "
                             "instead of the detector grid")
+    sweep.add_argument("--policies", action="store_true",
+                       help="sweep recovery policies (static rules vs the adaptive layer) "
+                            "over drifting fault-mix schedules")
+    sweep.add_argument("--profiles", default="", metavar="NAME,NAME,...",
+                       help="drift profiles for --policies (default: all)")
+    sweep.add_argument("--gate", action="store_true",
+                       help="with --policies: exit 1 unless adaptive beats every static "
+                            "policy on the 'mixed' profile")
     sweep.add_argument("--markdown", action="store_true", help="emit a markdown table")
     sweep.add_argument("--out", default="", help="also write the table to this file")
     add_jobs_argument(sweep)
@@ -112,7 +123,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             return 2
         return check_chaos(options.seeds, options.schedules, options.seed_base, options.jobs)
 
-    if options.strategies:
+    gate_failures = []
+    if options.policies:
+        profiles = _parse_values(options.profiles, str)
+        rows = sweep_policies(
+            profiles=profiles,
+            seeds=options.seeds,
+            seed_base=options.seed_base,
+            jobs=options.jobs,
+        )
+        if options.gate:
+            gate_failures = policy_gate(rows)
+    elif options.strategies:
         rows = sweep_strategies(seeds=options.seeds, seed_base=options.seed_base, jobs=options.jobs)
     else:
         try:
@@ -134,6 +156,12 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if options.out:
         with open(options.out, "w", encoding="utf-8") as handle:
             handle.write(rendered)
+    if gate_failures:
+        for failure in gate_failures:
+            print(f"policy-gate: {failure}", file=sys.stderr)
+        return 1
+    if options.policies and options.gate:
+        print("policy-gate: adaptive dominates every static policy on 'mixed'")
     return 0
 
 

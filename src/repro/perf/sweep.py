@@ -273,6 +273,180 @@ def sweep_strategies(seeds: int = 3, seed_base: int = 0, jobs: int = 1) -> List[
     return rows
 
 
+# -- adaptive-vs-static policy sweep ------------------------------------------------
+#
+# The same drifting fault-mix schedules under every recovery policy.
+# Metrics are placement-fair by construction (every drift motif hits
+# both pair nodes) and attribution-free where possible:
+#
+# * **recovery latency** — total sampled time the pair is not in its
+#   steady state (one live primary, all apps running; a dual primary
+#   counts as unstable) divided by the number of destructive schedule
+#   entries: mean unavailability bought per fault.  Summing samples
+#   instead of matching events to faults means a policy cannot look
+#   good by recovering "somewhere else" while the unit is still down.
+# * **spurious failovers** — *unilateral* promotions (trace reason
+#   "peer heartbeat loss" / "dual-backup resolution") with no
+#   destructive entry within the attribution window before them.
+#   Coordinated switchovers ("takeover request: ...") are deliberate,
+#   availability-preserving handoffs and are never counted.
+
+#: name -> OfttConfig overrides.  Six policies: the paper's default
+#: static rule, three detector tunings of it, the two degenerate rules,
+#: and the adaptive layer with everything at defaults.
+POLICY_CONFIGS: List[Tuple[str, Dict[str, Any]]] = [
+    ("static-default", {}),
+    ("static-fast", {"heartbeat_timeout": 300.0, "peer_heartbeat_timeout": 300.0}),
+    ("static-safe", {"heartbeat_miss_threshold": 3}),
+    ("static-local-only", {"default_rule": None}),  # filled by _policy_config
+    ("static-always-failover", {"default_rule": None}),
+    ("adaptive", {"adaptive_policy": True}),
+]
+POLICY_NAMES = [name for name, _ in POLICY_CONFIGS]
+
+#: Stability sample period (ms) for the unavailability integral.
+POLICY_SAMPLE_PERIOD = 25.0
+#: A unilateral promotion within this window after a destructive entry
+#: is attributed to it; later ones are spurious.
+POLICY_FP_WINDOW = 2_500.0
+
+#: One policy-sweep task: (policy name, drift profile, seed).
+PolicyTask = Tuple[str, str, int]
+
+
+def _policy_config(name: str) -> OfttConfig:
+    """The OfttConfig for one named policy."""
+    from repro.core.config import RecoveryRule
+
+    if name == "static-local-only":
+        return replace_config(OfttConfig(), default_rule=RecoveryRule.local_only())
+    if name == "static-always-failover":
+        return replace_config(OfttConfig(), default_rule=RecoveryRule.always_failover())
+    overrides = dict(next(o for n, o in POLICY_CONFIGS if n == name))
+    return replace_config(OfttConfig(), **overrides) if overrides else OfttConfig()
+
+
+def evaluate_policy_task(task: PolicyTask) -> Dict[str, Any]:
+    """Executor entry point: one drift profile under one policy."""
+    from repro.chaos.schedule import DRIFT_DESTRUCTIVE_KINDS, drift_schedule
+    from repro.errors import OfttError
+
+    policy, profile, seed = task
+    scenario = ChaosScenario(seed=seed, config=_policy_config(policy))
+    schedule = drift_schedule(profile, list(scenario.PAIR_NODES), scenario.APP_NAME)
+    injector = FaultInjector(scenario.kernel, scenario, trace=scenario.trace)
+    for entry in schedule.sorted_entries():
+        injector.inject_at(entry.at, entry.build())
+    scenario.start(settle=True)
+
+    unstable = {"ms": 0.0}
+
+    def stable_now() -> bool:
+        try:
+            return scenario.pair.is_stable()
+        except OfttError:  # dual primary
+            return False
+
+    def sample() -> None:
+        if scenario.kernel.now >= schedule.horizon:
+            return
+        if not stable_now():
+            unstable["ms"] += POLICY_SAMPLE_PERIOD
+        scenario.kernel.schedule(POLICY_SAMPLE_PERIOD, sample)
+
+    scenario.kernel.schedule(POLICY_SAMPLE_PERIOD, sample)
+    scenario.run(until=schedule.horizon)
+
+    destructive = [e for e in schedule.sorted_entries() if e.kind in DRIFT_DESTRUCTIVE_KINDS]
+    unilateral = [
+        record
+        for record in scenario.trace.select(category="engine", event="takeover")
+        if record.detail.get("reason") in ("peer heartbeat loss", "dual-backup resolution")
+    ]
+    spurious = sum(
+        1
+        for record in unilateral
+        if not any(e.at <= record.time <= e.at + POLICY_FP_WINDOW for e in destructive)
+    )
+    switches = sum(
+        engine.strategy_switch_count
+        for engine in scenario.pair.engines.values()
+        if engine.alive
+    )
+    return {
+        "unstable_ms": round(unstable["ms"], 1),
+        "destructive": len(destructive),
+        "unilateral": len(unilateral),
+        "spurious": spurious,
+        "switches": switches,
+    }
+
+
+def sweep_policies(
+    profiles: List[str] = None,
+    seeds: int = 3,
+    seed_base: int = 0,
+    jobs: int = 1,
+) -> List[Dict[str, Any]]:
+    """Policy x drift-profile comparison; one aggregated row each."""
+    from repro.chaos.schedule import DRIFT_PROFILES
+
+    profile_list = profiles if profiles is not None else sorted(DRIFT_PROFILES)
+    tasks: List[PolicyTask] = [
+        (policy, profile, seed)
+        for profile in profile_list
+        for policy in POLICY_NAMES
+        for seed in range(seed_base, seed_base + seeds)
+    ]
+    outcomes = parallel_map(evaluate_policy_task, tasks, jobs=jobs)
+
+    rows: List[Dict[str, Any]] = []
+    for index in range(0, len(tasks), seeds):
+        policy, profile, _seed = tasks[index]
+        chunk = outcomes[index:index + seeds]
+        faults = sum(o["destructive"] for o in chunk)
+        unstable = sum(o["unstable_ms"] for o in chunk)
+        rows.append({
+            "profile": profile,
+            "policy": policy,
+            "runs": len(chunk),
+            "faults": faults,
+            "unstable_ms": round(unstable, 1),
+            "mean_recovery_ms": round(unstable / faults, 1) if faults else None,
+            "spurious_failovers": sum(o["spurious"] for o in chunk),
+            "strategy_switches": sum(o["switches"] for o in chunk),
+        })
+    return rows
+
+
+def policy_gate(rows: List[Dict[str, Any]], profile: str = "mixed") -> List[str]:
+    """Check the adaptive-dominance gate on one profile's rows.
+
+    Returns a list of failure descriptions (empty = gate passed):
+    adaptive must beat every static policy on mean recovery latency at
+    an equal-or-lower spurious-failover count.
+    """
+    profile_rows = {row["policy"]: row for row in rows if row["profile"] == profile}
+    adaptive = profile_rows.get("adaptive")
+    if adaptive is None:
+        return [f"no adaptive row for profile {profile!r}"]
+    failures = []
+    for name, row in sorted(profile_rows.items()):
+        if name == "adaptive":
+            continue
+        if adaptive["mean_recovery_ms"] >= row["mean_recovery_ms"]:
+            failures.append(
+                f"{profile}: adaptive mean {adaptive['mean_recovery_ms']}ms is not below "
+                f"{name} ({row['mean_recovery_ms']}ms)"
+            )
+        if adaptive["spurious_failovers"] > row["spurious_failovers"]:
+            failures.append(
+                f"{profile}: adaptive spurious failovers {adaptive['spurious_failovers']} exceed "
+                f"{name} ({row['spurious_failovers']})"
+            )
+    return failures
+
+
 def render_rows(rows: List[Dict[str, Any]], markdown: bool = False) -> str:
     """Fixed-width (or markdown) table over the sweep rows."""
     headers = list(rows[0].keys()) if rows else []

@@ -129,6 +129,25 @@ def _chaos_trace(seed: int):
     return run.scenario.trace, result.as_wire()
 
 
+def _chaos_policy_trace(seed: int):
+    """The mixed drifting fault-mix under the adaptive policy.
+
+    The policy layer's whole decision loop — regime classification,
+    backoff governor, proactive failover, runtime strategy switching —
+    runs inside the simulation kernel, so it must be exactly as
+    deterministic as everything else.  Same gate as ``chaos``: trace
+    stream plus the ``RunResult`` wire payload, run twice and diffed.
+    """
+    from repro.chaos.schedule import drift_schedule
+    from repro.core.config import OfttConfig, replace_config
+
+    schedule = drift_schedule("mixed", list(ChaosScenario.PAIR_NODES), ChaosScenario.APP_NAME)
+    config = replace_config(OfttConfig(), adaptive_policy=True)
+    run = ChaosRun(seed=seed, schedule=schedule, config=config)
+    result = run.execute()
+    return run.scenario.trace, result.as_wire()
+
+
 # -- checkpoint round-trip subjects ----------------------------------------
 
 
@@ -174,6 +193,7 @@ SUBJECTS: Dict[str, Subject] = {
         _trace_subject("integrated", "Figure 1(b) integrated server+client pair", _integrated_trace),
         _trace_subject("demo-campaign", "§4 failure demos (a)-(d) with outcome signature", _demo_campaign_trace),
         _trace_subject("chaos", "one generated chaos schedule with monitors and report payload", _chaos_trace),
+        _trace_subject("chaos-policy", "the mixed drift schedule under the adaptive recovery policy", _chaos_policy_trace),
         Subject(
             name="roundtrip-scada",
             kind="roundtrip",

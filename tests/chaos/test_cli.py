@@ -35,14 +35,45 @@ def test_self_test_catches_sabotage_and_minimizes(capsys):
     assert code == 1
     document = json.loads(out)
     assert document["mode"] == "self-test"
-    assert document["summary"]["failed"] == 1
-    assert document["summary"]["violations"] >= 1
+    # Both sabotage cases must be caught by their dedicated monitors.
+    assert document["summary"]["failed"] == 2
+    assert document["summary"]["violations"] >= 2
     fired = {v["invariant"] for run in document["runs"] for v in run["violations"]}
     assert "split-brain" in fired
+    assert "restart-thrash" in fired
     minimization = document["minimization"]
     assert minimization is not None
     assert minimization["reproduced"] is True
     assert minimization["minimal_size"] <= 3
+
+
+def test_drift_campaign_green_with_and_without_policy(capsys):
+    code, out = run_cli(capsys, "--drift", "crashy", "--seeds", "1")
+    assert code == 0
+    code, out = run_cli(capsys, "--drift", "crashy", "--policy", "--seeds", "1", "--json")
+    assert code == 0
+    document = json.loads(out)
+    assert document["mode"] == "drift:crashy"
+    assert document["summary"]["failed"] == 0
+
+
+def test_governed_thrash_schedule_is_green_without_sabotage():
+    # The exact self-test recipe minus the sabotage: the adaptive
+    # policy's thrash detector escalates before the restart-thrash
+    # monitor's budget is burned.
+    from repro.chaos.cli import (
+        SELF_TEST_THRASH_ENTRIES,
+        SELF_TEST_THRASH_HORIZON,
+        _thrash_config,
+    )
+    from repro.chaos.runner import run_schedule
+    from repro.chaos.schedule import ChaosSchedule
+
+    schedule = ChaosSchedule(
+        entries=list(SELF_TEST_THRASH_ENTRIES), horizon=SELF_TEST_THRASH_HORIZON
+    )
+    result = run_schedule(0, schedule, config=_thrash_config())
+    assert result.passed, result.violation_names()
 
 
 def test_same_invocation_is_byte_identical(capsys):

@@ -319,3 +319,94 @@ def test_same_seed_runs_are_wire_identical():
     second = run_schedule(3, schedule)
     assert first.as_wire() == second.as_wire()
     assert first.trace_fingerprint == second.trace_fingerprint
+
+
+# ---------------------------------------------------------------------------
+# StrategyFlappingMonitor / RestartThrashMonitor
+
+
+class FakeSwitchKernel:
+    def __init__(self):
+        self.now = 0.0
+
+
+class FakeSwitchEngine:
+    def __init__(self):
+        self.kernel = FakeSwitchKernel()
+        self.node_name = "alpha"
+        self.on_strategy_switch = []
+        self.local_restart_count = 0
+
+    def switch(self, now, old="cold-passive", new="leader-follower"):
+        self.kernel.now = now
+        for hook in self.on_strategy_switch:
+            hook(self, old, new, "test")
+
+
+def test_strategy_flapping_fires_past_bound_in_window():
+    from repro.chaos.invariants import StrategyFlappingMonitor
+
+    monitor = StrategyFlappingMonitor(bound=3, window=10_000.0)
+    engine = FakeSwitchEngine()
+    monitor.on_engine(engine)
+    for now in (1_000.0, 2_000.0, 3_000.0):
+        engine.switch(now)
+    assert monitor.violations == []  # exactly at the bound
+    engine.switch(4_000.0)
+    assert [v.invariant for v in monitor.violations] == ["strategy-flapping"]
+    assert monitor.violations[0].detail["switches"] == 4
+
+
+def test_strategy_flapping_tolerates_spread_out_switches():
+    from repro.chaos.invariants import StrategyFlappingMonitor
+
+    monitor = StrategyFlappingMonitor(bound=3, window=10_000.0)
+    engine = FakeSwitchEngine()
+    monitor.on_engine(engine)
+    for now in (0.0, 11_000.0, 22_000.0, 33_000.0, 44_000.0):
+        engine.switch(now)
+    assert monitor.violations == []
+
+
+def test_strategy_flapping_inert_without_switches():
+    from repro.chaos.invariants import StrategyFlappingMonitor
+
+    monitor = StrategyFlappingMonitor()
+    monitor.on_engine(FakeSwitchEngine())
+    assert monitor.violations == []
+
+
+def test_restart_thrash_fires_on_rapid_burst():
+    from repro.chaos.invariants import RestartThrashMonitor
+
+    monitor = RestartThrashMonitor(bound=5, window=4_000.0)
+    engine = FakeSwitchEngine()
+    monitor.on_engine(engine)
+    for tick in range(6):
+        engine.local_restart_count += 1
+        monitor.on_tick(None, 100.0 * (tick + 1))
+    assert [v.invariant for v in monitor.violations] == ["restart-thrash"]
+    assert monitor.violations[0].detail["restarts"] == 6
+
+
+def test_restart_thrash_tolerates_governed_pace():
+    from repro.chaos.invariants import RestartThrashMonitor
+
+    monitor = RestartThrashMonitor(bound=5, window=4_000.0)
+    engine = FakeSwitchEngine()
+    monitor.on_engine(engine)
+    for tick in range(10):
+        engine.local_restart_count += 1
+        monitor.on_tick(None, 1_000.0 * (tick + 1))  # one per second: 4 in any window
+    assert monitor.violations == []
+
+
+def test_restart_thrash_ignores_preexisting_count():
+    from repro.chaos.invariants import RestartThrashMonitor
+
+    monitor = RestartThrashMonitor(bound=5, window=4_000.0)
+    engine = FakeSwitchEngine()
+    engine.local_restart_count = 50  # history from before attach
+    monitor.on_engine(engine)
+    monitor.on_tick(None, 100.0)
+    assert monitor.violations == []

@@ -89,3 +89,64 @@ def test_destructive_faults_come_with_repairs():
         for index, kind in enumerate(kinds):
             if kind in repair_for:
                 assert repair_for[kind] in kinds[index + 1 :]
+
+
+# -- drifting fault-mix schedules -------------------------------------------
+
+
+def _drift(profile):
+    from repro.chaos.schedule import drift_schedule
+
+    return drift_schedule(profile, ["alpha", "beta"], "synthetic")
+
+
+def test_drift_schedule_is_deterministic():
+    first = _drift("mixed")
+    second = _drift("mixed")
+    assert first.as_wire() == second.as_wire()
+
+
+def test_drift_profiles_cover_every_phase():
+    from repro.chaos.schedule import (
+        DRIFT_LEAD_IN,
+        DRIFT_PHASE_LENGTH,
+        DRIFT_PROFILES,
+        DRIFT_TAIL,
+    )
+
+    mixed = _drift("mixed")
+    phases = len(DRIFT_PROFILES["mixed"])
+    assert mixed.horizon == DRIFT_LEAD_IN + phases * DRIFT_PHASE_LENGTH + DRIFT_TAIL
+    kinds = {entry.kind for entry in mixed.entries}
+    assert {"app-crash", "app-hang", "gray-node", "partition",
+            "heal-network", "sticky-app-crash"} <= kinds
+
+
+def test_drift_entries_are_buildable_and_inside_horizon():
+    for profile in ("crashy", "gray", "partition", "sticky", "mixed"):
+        schedule = _drift(profile)
+        for entry in schedule.sorted_entries():
+            assert entry.at < schedule.horizon
+            entry.build()  # raises on a bad kind/params pairing
+
+
+def test_drift_destructive_faults_hit_both_nodes_symmetrically():
+    # Placement fairness: every destructive motif targets both nodes, so
+    # no policy can win by being lucky about where faults land.
+    from repro.chaos.schedule import DRIFT_DESTRUCTIVE_KINDS
+
+    for profile in ("crashy", "sticky", "mixed"):
+        schedule = _drift(profile)
+        per_node = {"alpha": 0, "beta": 0}
+        for entry in schedule.entries:
+            if entry.kind in DRIFT_DESTRUCTIVE_KINDS and "node" in entry.params:
+                per_node[entry.params["node"]] += 1
+        assert per_node["alpha"] == per_node["beta"]
+
+
+def test_unknown_drift_profile_rejected():
+    import pytest
+    from repro.errors import FaultInjectionError
+
+    with pytest.raises(FaultInjectionError):
+        _drift("nope")

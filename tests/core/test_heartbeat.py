@@ -100,3 +100,52 @@ def test_multiple_components_independent():
     kernel.run(until=1_000.0)
     assert [name for _t, name, _s in failures] == ["bad"]
     assert monitor.watched() == ["bad", "good"]
+
+
+# -- runtime tuning (adaptive policy hooks) ---------------------------------
+
+
+def test_tune_scales_timeout_and_reset_restores_base():
+    kernel, monitor, failures = make_monitor()
+    monitor.watch("app", timeout=400.0)
+    monitor.tune("app", timeout_scale=0.5)
+    kernel.run(until=300.0)
+    assert [name for _t, name, _s in failures] == ["app"]  # tripped at 200ms
+    monitor.tune("app")  # reset
+    assert monitor._watches["app"].timeout == 400.0
+
+
+def test_tune_unknown_component_is_ignored():
+    kernel, monitor, _failures = make_monitor()
+    monitor.tune("ghost", timeout_scale=0.5)  # no raise
+
+
+def test_miss_tolerance_overrides_global_threshold():
+    kernel, monitor, failures = make_monitor(sweep=50.0)
+    monitor.watch("app", timeout=100.0)
+    monitor.tune("app", miss_tolerance=4)
+    # Silent from t=0: sweeps at 150/200/250 miss, the 4th (t=300) fires.
+    kernel.run(until=1_000.0)
+    assert len(failures) == 1
+    time, _name, _silence = failures[0]
+    assert time == 300.0
+    # Clearing the tolerance restores the global threshold.
+    monitor.tune("app")
+    assert monitor._watches["app"].miss_tolerance is None
+
+
+def test_largest_gap_tracks_interarrival_skew():
+    kernel, monitor, _failures = make_monitor()
+    monitor.watch("app", timeout=10_000.0)
+    for at in (100.0, 200.0, 650.0, 750.0):
+        kernel.schedule(at - kernel.now, monitor.beat, "app")
+        kernel.run(until=at)
+    assert monitor.largest_gap("app") == 450.0
+
+
+def test_largest_gap_requires_two_beats():
+    kernel, monitor, _failures = make_monitor()
+    monitor.watch("app", timeout=10_000.0)
+    assert monitor.largest_gap("app") is None
+    monitor.beat("app")
+    assert monitor.largest_gap("app") is None

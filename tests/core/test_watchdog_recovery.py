@@ -137,3 +137,36 @@ def test_decisions_recorded():
     recovery.on_failure("app", "second")
     assert len(recovery.decisions) == 2
     assert "exhausted" in recovery.decisions[1].reason
+
+
+def test_decisions_log_is_ring_buffered():
+    kernel = SimKernel()
+    config = OfttConfig(decision_log_limit=3).with_rule("app", RecoveryRule.local_only())
+    recovery = RecoveryManager(kernel, config)
+    for index in range(8):
+        recovery.on_failure("app", f"crash-{index}")
+    assert len(recovery.decisions) == 3
+    assert recovery.decisions[-1].reason == "crash-7"
+
+
+def test_failure_exactly_at_window_boundary_still_counts():
+    # A failure stamped exactly at ``now - transient_window`` is inside
+    # the window (``t >= cutoff``): the budget math is inclusive.
+    kernel, recovery = make_recovery(
+        RecoveryRule(max_local_restarts=1, transient_window=1_000.0)
+    )
+    assert recovery.on_failure("app", "x").action is RecoveryAction.LOCAL_RESTART
+    kernel.run(until=1_000.0)  # now - window == the failure's timestamp
+    assert recovery.failure_count("app") == 1
+    assert recovery.on_failure("app", "x").action is RecoveryAction.FAILOVER
+
+
+def test_failure_count_prunes_stale_history():
+    kernel, recovery = make_recovery(
+        RecoveryRule(max_local_restarts=3, transient_window=1_000.0)
+    )
+    recovery.on_failure("app", "x")
+    recovery.on_failure("app", "x")
+    assert recovery.failure_count("app") == 2
+    kernel.run(until=1_000.1)  # both now strictly older than the window
+    assert recovery.failure_count("app") == 0

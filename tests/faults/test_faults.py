@@ -156,3 +156,42 @@ def test_fault_descriptions_and_demo_ids():
     assert MiddlewareCrash("n").demo_id == "d"
     assert "power-off" in NodeFailure("n").describe()
     assert "bluescreen" in BlueScreen("n").describe()
+
+
+def test_sticky_app_crash_keeps_killing_until_expiry():
+    from repro.faults import StickyAppCrash
+
+    world = started_world()
+    world.run_for(1_000.0)
+    FaultInjector(world.kernel, world).inject_now(
+        StickyAppCrash("alpha", "synthetic", duration=1_000.0, recheck=50.0)
+    )
+    # Mid-duration any relaunched process is re-killed within a recheck.
+    world.run_for(500.0)
+    process = world.systems["alpha"].find_process("synthetic")
+    assert process is None or not process.alive
+    # After expiry the stomp loop has disarmed: a fresh launch survives.
+    world.run_for(1_000.0)
+    world.systems["alpha"].create_process("synthetic").start()
+    world.run_for(500.0)
+    survivor = world.systems["alpha"].find_process("synthetic")
+    assert survivor is not None and survivor.alive
+
+
+def test_sticky_app_crash_validates_parameters():
+    from repro.faults import StickyAppCrash
+
+    with pytest.raises(FaultInjectionError):
+        StickyAppCrash("alpha", "synthetic", duration=0.0)
+    with pytest.raises(FaultInjectionError):
+        StickyAppCrash("alpha", "synthetic", recheck=-1.0)
+
+
+def test_sticky_app_crash_apply_is_one_shot():
+    from repro.faults import StickyAppCrash
+
+    world = started_world()
+    fault = StickyAppCrash("alpha", "synthetic", duration=500.0)
+    fault.apply(world)
+    fault.apply(world)  # re-arming must not schedule a second stomp loop
+    world.run_for(2_000.0)

@@ -72,3 +72,61 @@ def test_render_rows_text_and_markdown():
     assert lines[0].startswith("| miss_threshold")
     assert set(lines[1]) <= {"|", "-"}
     assert len(lines) == 2 + len(rows)
+
+
+# -- policy sweep -----------------------------------------------------------
+
+
+def test_policy_sweep_rows_shape_and_order():
+    from repro.perf.sweep import POLICY_NAMES, sweep_policies
+
+    rows = sweep_policies(profiles=["crashy"], seeds=1)
+    assert [row["policy"] for row in rows] == POLICY_NAMES
+    for row in rows:
+        assert row["profile"] == "crashy"
+        assert row["faults"] > 0
+        assert row["mean_recovery_ms"] is not None
+        assert row["spurious_failovers"] >= 0
+
+
+def test_policy_sweep_only_adaptive_switches_strategies():
+    from repro.perf.sweep import sweep_policies
+
+    # Gray is the switch-provoking profile: peer-gap evidence is seen by
+    # both engines, so the serving primary reaches a hot-standby regime.
+    rows = sweep_policies(profiles=["gray"], seeds=1)
+    by_policy = {row["policy"]: row for row in rows}
+    assert by_policy["adaptive"]["strategy_switches"] > 0
+    assert all(
+        row["strategy_switches"] == 0
+        for name, row in by_policy.items()
+        if name != "adaptive"
+    )
+
+
+def test_policy_gate_passes_on_dominant_adaptive_and_fails_otherwise():
+    from repro.perf.sweep import policy_gate
+
+    def row(policy, mean, spurious):
+        return {
+            "profile": "mixed",
+            "policy": policy,
+            "mean_recovery_ms": mean,
+            "spurious_failovers": spurious,
+        }
+
+    good = [row("static-default", 150.0, 2), row("adaptive", 100.0, 0)]
+    assert policy_gate(good) == []
+    slow = [row("static-default", 90.0, 2), row("adaptive", 100.0, 0)]
+    assert any("not below" in failure for failure in policy_gate(slow))
+    trigger_happy = [row("static-default", 150.0, 0), row("adaptive", 100.0, 1)]
+    assert any("spurious" in failure for failure in policy_gate(trigger_happy))
+    assert policy_gate([row("static-default", 150.0, 0)]) == ["no adaptive row for profile 'mixed'"]
+
+
+def test_policy_task_is_deterministic():
+    from repro.perf.sweep import evaluate_policy_task
+
+    first = evaluate_policy_task(("adaptive", "crashy", 0))
+    second = evaluate_policy_task(("adaptive", "crashy", 0))
+    assert first == second
