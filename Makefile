@@ -5,10 +5,17 @@
 
 PY := PYTHONPATH=src python
 
-.PHONY: test lint lint-tests lint-json replay replay-json chaos chaos-selftest strategy-matrix policy-matrix perf-gate bench bench-diff verify
+.PHONY: test test-par lint lint-tests lint-json replay replay-json chaos chaos-selftest strategy-matrix policy-matrix perf-gate bench bench-diff verify
 
 test:
 	$(PY) -m pytest -x -q
+
+# The persistent-pool profile: the executor suite re-run with the shared
+# worker pool exercised at jobs 1, 2 and 4 inside one interpreter, so
+# pool reuse, resize-respawn and byte-identity across worker counts are
+# all covered (see tests/perf/test_parallel_profile.py).
+test-par:
+	$(PY) -m pytest -x -q tests/perf
 
 # The interprocedural effects pass (--effects: call-graph race
 # propagation + parallel_map purity) and the hot-path pass (--hotpath:
@@ -77,8 +84,14 @@ perf-gate:
 	$(PY) -m repro.perf check-chaos --seeds 2 --schedules 2 --jobs 2
 
 # Quick-profile benchmark; saves the next numbered BENCH_<n>.json here.
+# `make bench ONLY=kernel-events` runs a single bench (unsaved) for
+# hot-path iteration.
 bench:
+ifdef ONLY
+	$(PY) -m repro.bench --profile quick --jobs 2 --only $(ONLY)
+else
 	$(PY) -m repro.bench --profile quick --jobs 2 --save
+endif
 
 # Compare the two newest saved reports: work halves must be
 # byte-identical, measured halves within the noise threshold.  A single
@@ -86,4 +99,4 @@ bench:
 bench-diff:
 	$(PY) -m repro.bench diff --latest
 
-verify: test lint lint-tests replay strategy-matrix policy-matrix chaos-selftest perf-gate bench-diff
+verify: test test-par lint lint-tests replay strategy-matrix policy-matrix chaos-selftest perf-gate bench-diff

@@ -22,13 +22,13 @@ itself part of the checkpointed state so it survives failover too.
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, List, Optional
 
 from repro.core.api import OfttApi
 from repro.core.appdriver import OfttApplication
 from repro.core.diverter import inbox_queue_name
 from repro.msq.queue import QueueMessage
+from repro.nt.memory import copy_variables
 from repro.nt.process import NTProcess
 from repro.simnet.events import Timeout
 
@@ -110,7 +110,7 @@ class CallTrackApp(OfttApplication):
         }
         # Deep copy: seen_recent is a list the app appends to; a shallow
         # copy would alias it into the checkpoint held by the engine.
-        restored = copy.deepcopy(image.get("globals", {})) if image else {}
+        restored = copy_variables(image.get("globals", {})) if image else {}
         for var, default in defaults.items():
             space.write(var, restored.get(var, default))
 

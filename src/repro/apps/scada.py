@@ -13,13 +13,13 @@ the DCOM callback path during failovers.
 
 from __future__ import annotations
 
-import copy
 from dataclasses import dataclass
 from typing import Any, Dict, List, Optional, Tuple
 
 from repro.com.marshal import ObjRef
 from repro.core.api import OfttApi
 from repro.core.appdriver import OfttApplication
+from repro.nt.memory import copy_variables
 from repro.nt.process import NTProcess
 from repro.opc.client import OpcClient
 from repro.opc.types import OpcValue
@@ -99,7 +99,7 @@ class ScadaMonitorApp(OfttApplication):
         # Deep copy: a shallow dict() would alias the checkpoint's nested
         # containers (latest, trend, ...) into live memory, so the running
         # app would mutate the image held by the engine's CheckpointStore.
-        restored = copy.deepcopy(image.get("globals", {})) if image else {}
+        restored = copy_variables(image.get("globals", {})) if image else {}
         for var, default in defaults.items():
             space.write(var, restored.get(var, default))
 

@@ -9,11 +9,11 @@ incremental captures only what changed.
 
 from __future__ import annotations
 
-import copy
 from typing import Any, Dict, Optional
 
 from repro.core.api import OfttApi
 from repro.core.appdriver import OfttApplication
+from repro.nt.memory import copy_variables
 from repro.nt.process import NTProcess
 from repro.simnet.events import Timeout
 
@@ -66,7 +66,7 @@ class SyntheticStateApp(OfttApplication):
         space = process.address_space
         # Deep copy so live writes can never reach back into the stored
         # checkpoint image (values may be mutable containers).
-        restored = copy.deepcopy(image.get("globals", {})) if image else {}
+        restored = copy_variables(image.get("globals", {})) if image else {}
 
         # Cold payload: 1 KiB strings, written once.
         for block in range(self.cold_kb):

@@ -47,6 +47,10 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--profile", choices=PROFILES, default="quick",
                         help="bench sizes: quick (default) or full (the 100-schedule campaign)")
+    parser.add_argument("--only", default="", metavar="NAME",
+                        help="run a single bench by name (e.g. kernel-events); "
+                             "incompatible with --save/--out — partial reports "
+                             "would poison the diff history")
     parser.add_argument("--save", action="store_true",
                         help="write the report to the next BENCH_<n>.json in --root")
     parser.add_argument("--root", default=".",
@@ -111,7 +115,16 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if arguments and arguments[0] == "diff":
         return diff_main(arguments[1:])
     options = build_parser().parse_args(arguments)
-    benches = run_benches(profile=options.profile, jobs=options.jobs)
+    if options.only and (options.save or options.out):
+        print("oftt-bench: --only runs a partial catalogue; refusing to save it "
+              "(drop --save/--out)", file=sys.stderr)
+        return 2
+    try:
+        benches = run_benches(profile=options.profile, jobs=options.jobs,
+                              only=options.only or None)
+    except ValueError as exc:
+        print(f"oftt-bench: {exc}", file=sys.stderr)
+        return 2
     report = build_report(benches, profile=options.profile, jobs=options.jobs, host=host_facts())
     rendered = render_json(report)
     sys.stdout.write(rendered)

@@ -287,7 +287,7 @@ class DcomExporter:
         if pending is None:
             return  # reply arrived after timeout; drop it
         done, timer = pending
-        timer.cancel()
+        self.kernel.cancel(timer)
         done.succeed(
             RpcResult(
                 ok=payload["ok"],

@@ -186,7 +186,7 @@ class HeartbeatMonitor:
         """Halt sweeps (the engine is shutting down or died)."""
         self._running = False
         if self._timer is not None:
-            self._timer.cancel()
+            self.kernel.cancel(self._timer)
             self._timer = None
 
     def _sweep(self) -> None:

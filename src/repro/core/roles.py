@@ -104,7 +104,7 @@ class RoleNegotiator:
 
     def _cancel_wait(self) -> None:
         if self._wait_timer is not None:
-            self._wait_timer.cancel()
+            self.kernel.cancel(self._wait_timer)
             self._wait_timer = None
 
     def _on_wait_expired(self) -> None:

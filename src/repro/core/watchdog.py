@@ -67,7 +67,7 @@ class WatchdogTimer:
 
     def _cancel(self) -> None:
         if self._timer is not None:
-            self._timer.cancel()
+            self.kernel.cancel(self._timer)
             self._timer = None
 
     def _expired(self) -> None:

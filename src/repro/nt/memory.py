@@ -21,6 +21,32 @@ STACK = "stack"
 
 _KINDS = (GLOBAL, HEAP, STACK)
 
+#: Exact types that are immutable and therefore safe to share between a
+#: region and its snapshot.  ``type()`` identity (not isinstance) keeps
+#: the check cheap and conservative: a subclass falls back to deepcopy.
+_IMMUTABLE_SCALARS = frozenset((str, int, float, bool, bytes, type(None)))
+
+
+def copy_variables(data: Dict[str, Any]) -> Dict[str, Any]:
+    """Copy a flat variable dict, cheaply when provably safe.
+
+    Checkpoint images are overwhelmingly flat dicts of immutable scalars
+    (counters, flags, payload strings).  When every value is one, a
+    shallow ``dict()`` copy is semantically identical to ``deepcopy`` —
+    nothing shared is mutable.  Any container (or scalar subclass) value
+    sends the whole dict down the general ``deepcopy`` path, so in-place
+    mutation of a held list/dict (e.g. the SCADA alarm log) can never
+    leak between a region and its snapshots.
+    """
+    scalars = _IMMUTABLE_SCALARS
+    for value in data.values():
+        if type(value) not in scalars:
+            # Reviewed-benign HOT004: this *is* the slow path — a dict
+            # holding mutable values has no immutable carrier to cache
+            # on, and correctness requires the full deep copy.
+            return copy.deepcopy(data)  # oftt-lint: ok[hot-unmemoized-heavy]
+    return dict(data)
+
 
 class MemoryRegion:
     """A named region of a process address space.
@@ -60,12 +86,12 @@ class MemoryRegion:
         return sorted(self._data)
 
     def snapshot(self) -> Dict[str, Any]:
-        """Deep copy of the region's contents."""
-        return copy.deepcopy(self._data)
+        """Copy of the region's contents (scalar fast path, else deep)."""
+        return copy_variables(self._data)
 
     def restore(self, data: Dict[str, Any]) -> None:
-        """Replace the region's contents with a deep copy of *data*."""
-        self._data = copy.deepcopy(data)
+        """Replace the region's contents with a copy of *data*."""
+        self._data = copy_variables(data)
 
     def size_bytes(self) -> int:
         """Rough size estimate used for checkpoint cost modelling."""

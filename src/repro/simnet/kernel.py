@@ -11,20 +11,42 @@ increasing sequence number breaks ties), and all randomness flows through
 :class:`repro.simnet.random.RngStreams`.  Two runs with the same seed
 produce identical traces.
 
-Hot-path notes (``SimKernel.run``/``step``/``_maybe_compact`` are hot
-roots in ``repro/analysis/hotpath.manifest``): the heap holds
-``(time, seq, call)`` tuples rather than bare :class:`_ScheduledCall`
-objects so sift comparisons stay in C (tuple ``<``) instead of calling a
-Python-level ``__lt__`` per comparison — profiling showed that ``__lt__``
-alone was ~40% of drain time.  ``seq`` is unique, so the ``call`` slot is
-never compared.  Compaction rewrites ``self._queue`` in place, keeping
-the list identity stable so the drain loops can bind it locally.
+Hot-path notes (``SimKernel.run``/``step``/``schedule``/``cancel`` are hot
+roots in ``repro/analysis/hotpath.manifest``): the event queue is a
+struct-of-arrays layout, not a heap of per-call handle objects.  Each
+scheduled call occupies a *slot* — an index into parallel columns
+(``array('d')`` times, ``array('q')`` sequence numbers, plain lists for
+the callable and its argument tuple, a ``bytearray`` of cancelled flags)
+— and slots are recycled through a free list, so steady-state scheduling
+allocates no Python objects beyond the argument tuple the call protocol
+builds anyway.
+
+Ordering is delegated to a *calendar* structure instead of a per-event
+heap: slots scheduled for the same timestamp share one bucket (a plain
+list of slot indices), and a ``heapq`` of the distinct timestamps orders
+the buckets.  Two facts make this both fast and exactly equivalent to
+the old ``(time, seq, call)`` tuple heap:
+
+* within a bucket, list append order *is* sequence-number order, so the
+  bucket itself encodes the equal-timestamp tie-break — no comparisons
+  needed at all;
+* across buckets, the heap compares raw floats in C, and holds one entry
+  per *distinct* timestamp rather than one per event.  Sim workloads are
+  heavily collisional (periodic heartbeats, sweeps, retries), so the
+  heap shrinks by an order of magnitude; even the all-unique worst case
+  just degrades to a float heap, still cheaper than tuple entries.
+
+An earlier struct-of-arrays draft kept a per-event index heap with the
+sift loops in Python; it measured ~3x *slower* per comparison than C
+tuple compares and was discarded — the calendar layout is what lets the
+struct-of-arrays columns win (see PERF.md round 3).
 """
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Generator, List, Optional, Tuple
+from array import array
+from typing import Any, Callable, Dict, Generator, List, Optional, Tuple
 
 from repro.errors import SimError
 from repro.simnet.events import Timeout, Waitable
@@ -33,7 +55,17 @@ from repro.simnet.events import Timeout, Waitable
 # lookup (HOT006 dogfood; see ANALYSIS.md "Hot-path rules").
 _heappush = heapq.heappush
 _heappop = heapq.heappop
-_heapify = heapq.heapify
+
+#: A schedule handle is an opaque int: the low bits address the slot, the
+#: high bits carry the call's unique sequence number.  ``cancel`` checks
+#: the sequence column before acting, so a handle kept past its call's
+#: execution (or past compaction) can never cancel an unrelated call that
+#: reused the slot — the stale-handle no-op the old per-call objects gave
+#: for free.
+ScheduleHandle = int
+
+_SLOT_BITS = 28
+_SLOT_MASK = (1 << _SLOT_BITS) - 1
 
 
 class Interrupt(Exception):
@@ -42,46 +74,6 @@ class Interrupt(Exception):
     def __init__(self, cause: Any = None) -> None:
         super().__init__(f"interrupted: {cause!r}")
         self.cause = cause
-
-
-class _ScheduledCall:
-    """A callback armed at an absolute simulated time.
-
-    Instances ride the kernel heap inside ``(time, seq, call)`` tuples;
-    ``time``/``seq`` are duplicated here so handles stay meaningful
-    after they leave the heap (and for ``repr``/debugging).
-    """
-
-    __slots__ = ("time", "seq", "callback", "args", "cancelled", "_kernel")
-
-    def __init__(
-        self,
-        time: float,
-        seq: int,
-        callback: Callable[..., None],
-        args: Tuple[Any, ...],
-        kernel: Optional["SimKernel"] = None,
-    ) -> None:
-        self.time = time
-        self.seq = seq
-        self.callback = callback
-        self.args = args
-        self.cancelled = False
-        self._kernel = kernel
-
-    def cancel(self) -> None:
-        """Prevent the callback from running (idempotent).
-
-        Cancellation is lazy — the entry stays in the kernel heap and is
-        skipped on pop — but the kernel counts cancelled entries so it
-        can compact the heap when they dominate (see
-        :meth:`SimKernel._maybe_compact`).
-        """
-        if self.cancelled:
-            return
-        self.cancelled = True
-        if self._kernel is not None:
-            self._kernel._note_cancelled()
 
 
 class Process(Waitable):
@@ -212,7 +204,7 @@ class SimKernel:
         crashes are the point).
     """
 
-    #: Compaction only kicks in past this queue size (small heaps are
+    #: Compaction only kicks in past this queue size (small queues are
     #: cheap to scan; rebuilding them would cost more than it saves).
     COMPACT_MIN_SIZE = 512
 
@@ -222,60 +214,136 @@ class SimKernel:
         self.now: float = 0.0
         self.on_error = on_error
         self.process_errors: List[Tuple[Process, BaseException]] = []
-        #: Heap of ``(time, seq, call)`` — compared as tuples in C.
-        self._queue: List[Tuple[float, int, _ScheduledCall]] = []
+        # Struct-of-arrays slot columns.  A slot is live while its seq
+        # column entry is positive, *cancelled* while it is negative
+        # (the sign bit doubles as the cancelled flag, saving a separate
+        # column), and free once it is zero — so stale handles, whose
+        # positive seq can no longer match, are harmless by construction.
+        self._slot_times = array("d")
+        self._slot_seqs = array("q")
+        self._slot_callbacks: List[Optional[Callable[..., None]]] = []
+        self._slot_args: List[Optional[Tuple[Any, ...]]] = []
+        self._free_slots: List[int] = []
+        # Calendar: one bucket (list of slots, in insertion == seq order)
+        # per distinct timestamp, ordered by a heap of the raw floats.
+        self._buckets: Dict[float, List[int]] = {}
+        self._times_heap: List[float] = []
+        # The bucket currently being drained (already popped from
+        # ``_buckets``) plus the resume cursor, persisted on the kernel so
+        # an exception escaping ``run`` leaves the remaining same-tick
+        # events intact for the next ``run``/``step``.
+        self._active_bucket: Optional[List[int]] = None
+        self._active_index = 0
+        self._active_time = 0.0
         self._seq = 0
-        self._cancelled = 0
+        self._queued = 0
+        self._cancelled_count = 0
         self._raised: Optional[BaseException] = None
         self._running = False
 
     # -- scheduling ------------------------------------------------------
 
-    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> _ScheduledCall:
-        """Run *callback(*args)* after *delay* simulated time units."""
-        if delay < 0:
+    def schedule(self, delay: float, callback: Callable[..., None], *args: Any) -> ScheduleHandle:
+        """Run *callback(*args)* after *delay* simulated time units.
+
+        Returns an opaque :data:`ScheduleHandle` accepted by
+        :meth:`cancel`.  Handles stay harmless forever: cancelling an
+        already-executed (or already-cancelled) call is a no-op even if
+        its slot has been recycled for a newer call.
+        """
+        if not delay >= 0.0:
+            # Also rejects NaN, which would silently corrupt the time heap.
             raise SimError(f"negative delay: {delay}")
         seq = self._seq + 1
         self._seq = seq
         time = self.now + delay
-        call = _ScheduledCall(time, seq, callback, args, self)
-        _heappush(self._queue, (time, seq, call))
-        return call
+        free_slots = self._free_slots
+        if free_slots:
+            slot = free_slots.pop()
+            self._slot_times[slot] = time
+            self._slot_seqs[slot] = seq
+            self._slot_callbacks[slot] = callback
+            self._slot_args[slot] = args
+        else:
+            slot = len(self._slot_seqs)
+            self._slot_times.append(time)
+            self._slot_seqs.append(seq)
+            self._slot_callbacks.append(callback)
+            self._slot_args.append(args)
+        buckets = self._buckets
+        bucket = buckets.get(time)
+        if bucket is None:
+            buckets[time] = [slot]
+            _heappush(self._times_heap, time)
+        else:
+            bucket.append(slot)
+        self._queued += 1
+        return slot | (seq << _SLOT_BITS)
 
-    def _note_cancelled(self) -> None:
-        """A queued call was cancelled; compact if cancellations dominate.
+    def cancel(self, handle: ScheduleHandle) -> None:
+        """Prevent a scheduled call from running (idempotent, stale-safe).
 
-        The threshold test is inlined here (rather than delegating
-        straight to :meth:`_maybe_compact`) because this runs once per
-        cancellation and almost always concludes "not yet".
+        Cancellation is lazy — the slot stays in its bucket and is
+        skipped on drain — but the kernel counts cancelled entries so it
+        can compact the calendar when they dominate (see
+        :meth:`_maybe_compact`).
         """
-        cancelled = self._cancelled + 1
-        self._cancelled = cancelled
-        if cancelled * 2 >= len(self._queue) >= self.COMPACT_MIN_SIZE:
+        slot = handle & _SLOT_MASK
+        seq = handle >> _SLOT_BITS
+        seqs = self._slot_seqs
+        if slot >= len(seqs) or seqs[slot] != seq:
+            return  # already ran, cancelled, compacted, or never ours
+        seqs[slot] = -seq
+        cancelled = self._cancelled_count + 1
+        self._cancelled_count = cancelled
+        if cancelled * 2 >= self._queued >= self.COMPACT_MIN_SIZE:
             self._maybe_compact()
 
-    def _maybe_compact(self) -> None:
-        """Drop lazily-cancelled entries once they are half the heap.
+    def scheduled_time(self, handle: ScheduleHandle) -> Optional[float]:
+        """The absolute time a live handle is armed for (None if spent).
 
-        Rebuilding is O(n) and resets the cancelled fraction to zero, so
-        the amortized cost per cancellation is O(1).  Execution order is
-        unaffected: the heap pops in strict ``(time, seq)`` order (seq is
-        unique), which is independent of the heap's internal layout.  The
-        queue list is rewritten *in place* so aliases bound by the drain
-        loops in :meth:`run`/:meth:`step` stay valid.
+        Debug/introspection helper: a handle is *spent* once its call has
+        run, been cancelled, or been compacted away.
         """
-        queue = self._queue
-        if len(queue) < self.COMPACT_MIN_SIZE or self._cancelled * 2 < len(queue):
+        slot = handle & _SLOT_MASK
+        seqs = self._slot_seqs
+        if slot >= len(seqs) or seqs[slot] != handle >> _SLOT_BITS:
+            return None
+        return self._slot_times[slot]
+
+    def _maybe_compact(self) -> None:
+        """Drop lazily-cancelled slots once they are half the queue.
+
+        Rebuilding is O(queue) and resets the cancelled fraction to
+        (nearly) zero, so the amortized cost per cancellation is O(1).
+        Execution order is unaffected: filtering a bucket preserves the
+        insertion order of its survivors, and bucket times never move.
+        The bucket currently being drained lives outside ``_buckets``
+        (popped by the drain loop) and is deliberately left alone — its
+        cancelled slots are skipped on drain like any others.  Buckets
+        emptied by compaction stay in the calendar (their heap entry is
+        still live) and are discarded when their time is reached.
+        """
+        if self._queued < self.COMPACT_MIN_SIZE or self._cancelled_count * 2 < self._queued:
             return
-        survivors = []
-        for entry in queue:
-            if entry[2].cancelled:
-                entry[2]._kernel = None
-            else:
-                survivors.append(entry)
-        queue[:] = survivors
-        _heapify(queue)
-        self._cancelled = 0
+        seqs = self._slot_seqs
+        callbacks = self._slot_callbacks
+        args_list = self._slot_args
+        free_append = self._free_slots.append
+        freed = 0
+        for bucket in self._buckets.values():
+            survivors = [slot for slot in bucket if seqs[slot] > 0]
+            if len(survivors) != len(bucket):
+                for slot in bucket:
+                    if seqs[slot] < 0:
+                        seqs[slot] = 0
+                        callbacks[slot] = None
+                        args_list[slot] = None
+                        free_append(slot)
+                        freed += 1
+                bucket[:] = survivors
+        self._queued -= freed
+        self._cancelled_count -= freed
 
     def spawn(self, generator: Generator[Waitable, Any, Any], name: str = "") -> Process:
         """Create and start a :class:`Process` around *generator*."""
@@ -299,74 +367,142 @@ class SimKernel:
         if self._running:
             raise SimError("kernel is not reentrant")
         self._running = True
-        # Compaction rewrites the queue in place, so this local alias
-        # stays correct across callbacks that schedule/cancel.  The
-        # unbounded drain duplicates the loop body to skip the peek and
-        # deadline test per event — this is the hottest loop in the
-        # whole simulator.
-        queue = self._queue
         try:
-            if until is None:
-                while queue:
-                    time, _, call = _heappop(queue)
-                    call._kernel = None
-                    if call.cancelled:
-                        self._cancelled -= 1
-                        continue
-                    if time < self.now:
-                        raise SimError("time went backwards")
-                    self.now = time
-                    call.callback(*call.args)
-                    if self._raised is not None:
-                        error, self._raised = self._raised, None
-                        raise error
-            else:
-                while queue:
-                    time = queue[0][0]
-                    if time > until:
-                        break
-                    call = _heappop(queue)[2]
-                    call._kernel = None
-                    if call.cancelled:
-                        self._cancelled -= 1
-                        continue
-                    if time < self.now:
-                        raise SimError("time went backwards")
-                    self.now = time
-                    call.callback(*call.args)
-                    if self._raised is not None:
-                        error, self._raised = self._raised, None
-                        raise error
-                if self.now < until:
-                    self.now = until
+            self._drain(until)
+            if until is not None and self.now < until:
+                self.now = until
         finally:
             self._running = False
         return self.now
 
+    def _drain(self, until: Optional[float]) -> None:
+        """The hot drain loop: pop buckets in time order, fire their slots.
+
+        A callback scheduling at the *current* time cannot touch the
+        active bucket (it was popped from the calendar before draining),
+        so it opens a fresh bucket at the same timestamp which the outer
+        loop reaches right after — preserving strict ``(time, seq)``
+        execution order without re-checking the bucket length per event.
+        """
+        times_heap = self._times_heap
+        buckets = self._buckets
+        callbacks = self._slot_callbacks
+        args_list = self._slot_args
+        seqs = self._slot_seqs
+        free_extend = self._free_slots.extend
+        while True:
+            bucket = self._active_bucket
+            if bucket is None:
+                if not times_heap:
+                    return
+                time = times_heap[0]
+                if until is not None and time > until:
+                    return
+                _heappop(times_heap)
+                bucket = buckets.pop(time, None)
+                if not bucket:
+                    continue  # emptied by compaction; calendar entry expired
+                if time < self.now:
+                    raise SimError("time went backwards")
+                self._active_bucket = bucket
+                self._active_index = 0
+                self._active_time = time
+            index = self._active_index
+            size = len(bucket)
+            active_time = self._active_time
+            cancelled_seen = 0
+            # The resume cursor, queued/cancelled counts, and the free
+            # list are reconciled once per bucket (or on the exception
+            # path) instead of once per event; the finally block keeps
+            # mid-bucket aborts resumable.  Consumed slots keep their
+            # stale callback/args references until reuse — __getstate__
+            # prunes them so pickled kernels stay clean.
+            try:
+                while index < size:
+                    slot = bucket[index]
+                    index += 1
+                    seq = seqs[slot]
+                    seqs[slot] = 0
+                    if seq < 0:
+                        cancelled_seen += 1
+                        continue
+                    self.now = active_time
+                    args = args_list[slot]
+                    if args:
+                        callbacks[slot](*args)
+                    else:
+                        callbacks[slot]()
+                    if self._raised is not None:
+                        error, self._raised = self._raised, None
+                        raise error
+            finally:
+                start = self._active_index
+                self._queued -= index - start
+                self._cancelled_count -= cancelled_seen
+                self._active_index = index
+                free_extend(bucket[start:index])
+            self._active_bucket = None
+
     def step(self) -> bool:
         """Execute the single next event.  Returns False if queue is empty."""
-        queue = self._queue
-        while queue:
-            call = _heappop(queue)[2]
-            call._kernel = None
-            if call.cancelled:
-                self._cancelled -= 1
-                continue
-            self.now = call.time
-            call.callback(*call.args)
-            if self._raised is not None:
-                error, self._raised = self._raised, None
-                raise error
-            return True
-        return False
+        times_heap = self._times_heap
+        buckets = self._buckets
+        callbacks = self._slot_callbacks
+        args_list = self._slot_args
+        seqs = self._slot_seqs
+        free_append = self._free_slots.append
+        while True:
+            bucket = self._active_bucket
+            if bucket is None:
+                if not times_heap:
+                    return False
+                time = _heappop(times_heap)
+                bucket = buckets.pop(time, None)
+                if not bucket:
+                    continue
+                if time < self.now:
+                    raise SimError("time went backwards")
+                self._active_bucket = bucket
+                self._active_index = 0
+                self._active_time = time
+            index = self._active_index
+            size = len(bucket)
+            while index < size:
+                slot = bucket[index]
+                index += 1
+                self._active_index = index
+                seq = seqs[slot]
+                seqs[slot] = 0
+                free_append(slot)
+                self._queued -= 1
+                callback = callbacks[slot]
+                args = args_list[slot]
+                callbacks[slot] = None
+                args_list[slot] = None
+                if seq < 0:
+                    self._cancelled_count -= 1
+                    continue
+                self.now = self._active_time
+                if index >= size:
+                    self._active_bucket = None
+                if args:
+                    callback(*args)
+                else:
+                    callback()
+                if self._raised is not None:
+                    error, self._raised = self._raised, None
+                    raise error
+                return True
+            self._active_bucket = None
 
     @property
     def pending(self) -> int:
         """Number of scheduled (non-cancelled) calls still queued.
 
-        O(1): the kernel counts cancellations instead of scanning the heap.
+        O(1): the kernel counts queued and cancelled slots instead of
+        scanning the calendar.
         """
-        return len(self._queue) - self._cancelled
+        return self._queued - self._cancelled_count
 
     # -- error policy ----------------------------------------------------
 
@@ -374,6 +510,27 @@ class SimKernel:
         self.process_errors.append((process, error))
         if self.on_error == "raise":
             self._raised = error
+
+    # -- copy/pickle -----------------------------------------------------
+
+    def __getstate__(self) -> Dict[str, Any]:
+        """Prune stale callback/args references from free slots.
+
+        The drain loop leaves consumed slots' references in place (they
+        are overwritten on reuse), which is fine in memory but would drag
+        dead — possibly unpicklable — callables into a pickle.
+        """
+        state = dict(self.__dict__)
+        seqs = state["_slot_seqs"]
+        callbacks = list(state["_slot_callbacks"])
+        args_list = list(state["_slot_args"])
+        for slot, seq in enumerate(seqs):
+            if seq == 0:
+                callbacks[slot] = None
+                args_list[slot] = None
+        state["_slot_callbacks"] = callbacks
+        state["_slot_args"] = args_list
+        return state
 
     def __repr__(self) -> str:
         return f"SimKernel(now={self.now}, pending={self.pending})"

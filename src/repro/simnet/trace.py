@@ -215,10 +215,16 @@ class TraceRecord:
 class TraceLog:
     """Append-only log of :class:`TraceRecord` entries with query helpers.
 
-    ``emit`` maintains per-category and per-component indexes (lists of
-    records in emission order) so that :meth:`select` — the query every
-    invariant monitor and experiment metric goes through — scans only the
-    narrowest matching index instead of the full record list.
+    Per-category and per-component indexes (lists of records in emission
+    order) let :meth:`select` — the query every invariant monitor and
+    experiment metric goes through — scan only the narrowest matching
+    index instead of the full record list.  The indexes are folded
+    *lazily*: ``emit`` only appends to the record list (its batch
+    buffer), and the first query after a burst of emits folds the new
+    records into both indexes in one chunk (:meth:`_fold_indexes`).
+    Emit-heavy phases with no queries — the common shape for campaign
+    runs, where monitors subscribe instead of polling — therefore pay
+    nothing for indexing.
     """
 
     def __init__(self, clock: Optional[Callable[[], float]] = None) -> None:
@@ -227,6 +233,7 @@ class TraceLog:
         self._subscribers: List[Callable[[TraceRecord], None]] = []
         self._by_category: Dict[str, List[TraceRecord]] = {}
         self._by_component: Dict[str, List[TraceRecord]] = {}
+        self._indexed = 0  #: records folded into the indexes so far
         # Incremental log fingerprint: sha256 over all folded records'
         # fingerprints, plus the count folded so far.  Created lazily on
         # the first fingerprint() call — hashlib objects cannot be
@@ -243,18 +250,19 @@ class TraceLog:
         self._subscribers.append(callback)
 
     def emit(self, category: str, component: str, event: str, **detail: Any) -> TraceRecord:
-        """Append a record stamped with the current simulated time."""
+        """Append a record stamped with the current simulated time.
+
+        Snapshot semantics: the ``**detail`` kwargs mechanism copies the
+        *top level* of whatever mapping the caller splatted in, so later
+        reassignment of the caller's keys cannot alter the record.
+        Nested mutable values are held by reference and rendered lazily
+        — callers must treat anything passed as detail as frozen from
+        this point on (the sim layers only ever pass scalars and fresh
+        containers).
+        """
         time = self._clock() if self._clock is not None else 0.0
         record = TraceRecord(time, category, component, event, detail)
         self.records.append(record)
-        index = self._by_category.get(category)
-        if index is None:
-            index = self._by_category[category] = []
-        index.append(record)
-        index = self._by_component.get(component)
-        if index is None:
-            index = self._by_component[component] = []
-        index.append(record)
         if self._subscribers:
             # Reviewed-benign HOT003: _subscribers grows with *monitor*
             # count (a handful per scenario), not with event count.
@@ -264,9 +272,42 @@ class TraceLog:
 
     # -- queries ---------------------------------------------------------
 
+    def _fold_indexes(self) -> None:
+        """Fold records emitted since the last query into both indexes.
+
+        Amortized O(1) per record: each record is folded exactly once,
+        whether it arrived alone or in a 100k-emit burst.  If the record
+        list ever shrinks — unsupported, but cheap to detect — the
+        indexes are rebuilt from scratch rather than served stale.
+        """
+        records = self.records
+        indexed = self._indexed
+        if indexed > len(records):
+            self._by_category = {}
+            self._by_component = {}
+            indexed = 0
+        by_category = self._by_category
+        by_component = self._by_component
+        for record in records[indexed:]:
+            index = by_category.get(record.category)
+            if index is None:
+                by_category[record.category] = [record]
+            else:
+                index.append(record)
+            index = by_component.get(record.component)
+            if index is None:
+                by_component[record.component] = [record]
+            else:
+                index.append(record)
+        self._indexed = len(records)
+
     def _candidates(self, category: Optional[str], component: Optional[str]) -> List[TraceRecord]:
         """Narrowest index covering the given category/component filters."""
         candidates: List[TraceRecord] = self.records
+        if category is None and component is None:
+            return candidates
+        if self._indexed != len(candidates):
+            self._fold_indexes()
         if category is not None:
             candidates = self._by_category.get(category, [])
         if component is not None:
@@ -411,8 +452,16 @@ class TraceLog:
         return digest.hexdigest()[:16]
 
     def __getstate__(self) -> Dict[str, Any]:
-        """Drop the unpicklable running digest; it rebuilds on demand."""
+        """Drop the unpicklable running digest and the derived indexes.
+
+        Both rebuild on demand; dropping the indexes roughly halves the
+        pickled size of a queried log (every record would otherwise be
+        referenced three times).
+        """
         state = self.__dict__.copy()
         state["_fp_digest"] = None
         state["_fp_folded"] = 0
+        state["_by_category"] = {}
+        state["_by_component"] = {}
+        state["_indexed"] = 0
         return state

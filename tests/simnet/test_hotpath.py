@@ -115,7 +115,7 @@ def drive(kernel, n, cancel_every):
         for i in range(n)
     ]
     for call in calls[::cancel_every]:
-        call.cancel()
+        kernel.cancel(call)
     kernel.run()
     return fired
 
@@ -132,10 +132,10 @@ def test_pending_is_exact_through_cancellations():
     calls = [kernel.schedule(float(i), lambda: None) for i in range(700)]
     assert kernel.pending == 700
     for call in calls[::2]:
-        call.cancel()
+        kernel.cancel(call)
     assert kernel.pending == 350
-    calls[1].cancel()
-    calls[1].cancel()  # idempotent: double cancel counts once
+    kernel.cancel(calls[1])
+    kernel.cancel(calls[1])  # idempotent: double cancel counts once
     assert kernel.pending == 349
     kernel.run()
     assert kernel.pending == 0
@@ -146,7 +146,7 @@ def test_cancel_after_run_is_harmless():
     call = kernel.schedule(1.0, lambda: None)
     kernel.run()
     assert kernel.pending == 0
-    call.cancel()  # already executed; must not corrupt the counter
+    kernel.cancel(call)  # already executed; must not corrupt the counter
     assert kernel.pending == 0
     kernel.schedule(1.0, lambda: None)
     assert kernel.pending == 1

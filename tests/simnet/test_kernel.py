@@ -44,7 +44,7 @@ def test_cancelled_calls_do_not_run():
     kernel = SimKernel()
     seen = []
     call = kernel.schedule(10.0, seen.append, "never")
-    call.cancel()
+    kernel.cancel(call)
     kernel.run()
     assert seen == []
 
@@ -210,5 +210,5 @@ def test_pending_counts_non_cancelled():
     call = kernel.schedule(5.0, lambda: None)
     kernel.schedule(6.0, lambda: None)
     assert kernel.pending == 2
-    call.cancel()
+    kernel.cancel(call)
     assert kernel.pending == 1

@@ -1,0 +1,105 @@
+"""Lazy rendering and lazy index folding must be invisible.
+
+The trace plane defers two things: a record's wire form / fingerprint
+(built on first ask, not at emit) and the per-category/component select
+indexes (folded in a chunk at the first query after an emit burst).
+These tests pin that laziness never changes observable results: golden
+fingerprints stay byte-identical whatever the emit/query interleaving,
+and the snapshot semantics of ``emit(**detail)`` are exactly documented
+— top level copied by kwargs splat, nested values by reference.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+from repro.simnet.trace import TraceLog, TraceRecord
+
+# Golden values shared with test_trace_fastpath.py: laziness must not
+# move these by a byte (they pin compatibility with recorded replays).
+GOLDEN_START_FP = "b1a0cffdee031e24"
+GOLDEN_LOG_FP = "9de5d07592c782fd"
+
+
+def build_golden_log() -> TraceLog:
+    log = TraceLog()
+    log.emit("proc", "node-1", "start")
+    log.emit("net", "link-a", "deliver", seq=7, payload="héllo", ok=True)
+    log.emit("proc", "node-2", "crash", reason=None, load=0.123456789)
+    return log
+
+
+def test_golden_fingerprints_unchanged_by_lazy_paths():
+    log = build_golden_log()
+    assert log.records[0].fingerprint() == GOLDEN_START_FP
+    assert log.fingerprint() == GOLDEN_LOG_FP
+
+
+def test_fingerprint_identical_whatever_the_query_interleaving():
+    eager, lazy = build_golden_log(), build_golden_log()
+    # Eager: query (forcing index folds) after every emit-equivalent step.
+    eager.select(category="proc")
+    eager.first(component="link-a")
+    eager.count(category="net")
+    assert eager.fingerprint() == lazy.fingerprint() == GOLDEN_LOG_FP
+    assert eager.select(category="proc") == lazy.select(category="proc")
+
+
+def test_indexes_fold_lazily_and_catch_up_exactly():
+    log = TraceLog()
+    for i in range(50):
+        log.emit(f"cat-{i % 3}", f"comp-{i % 4}", "ev", index=i)
+    # Nothing folded yet: emit never touches the indexes.
+    assert log._indexed == 0
+    picked = log.select(category="cat-1")
+    assert log._indexed == 50
+    assert [r.detail["index"] for r in picked] == list(range(1, 50, 3))
+    # A post-query burst folds on the next query, not at emit.
+    log.emit("cat-1", "comp-9", "late")
+    assert log._indexed == 50
+    assert log.select(category="cat-1")[-1].event == "late"
+    assert log._indexed == 51
+
+
+def test_unfiltered_select_never_needs_the_indexes():
+    log = build_golden_log()
+    assert log.select() == log.records
+    assert log._indexed == 0  # full-scan queries skip folding entirely
+
+
+def test_caller_held_detail_dict_mutation_does_not_alter_wire_form():
+    """Snapshot semantics, part 1: the top level is copied at emit."""
+    log = TraceLog()
+    held = {"state": "primary", "epoch": 3}
+    record = log.emit("role", "node-1", "decided", **held)
+    held["state"] = "backup"  # caller reuses its dict after emitting
+    held["extra"] = "late"
+    wire = record.as_wire()  # rendered lazily, after the mutation
+    assert wire["detail"] == {"epoch": 3, "state": "primary"}
+    assert record.fingerprint() == TraceRecord(
+        0.0, "role", "node-1", "decided", {"state": "primary", "epoch": 3}
+    ).fingerprint()
+
+
+def test_nested_detail_values_are_held_by_reference():
+    """Snapshot semantics, part 2: nesting is NOT deep-copied.
+
+    This is the documented contract (see TraceLog.emit): detail values
+    must be treated as frozen once emitted.  The test pins the behaviour
+    so the docs cannot silently drift from the implementation.
+    """
+    log = TraceLog()
+    nested = {"queue": [1, 2]}
+    record = log.emit("msq", "node-1", "depth", snapshot=nested)
+    nested["queue"].append(3)  # contract violation by the caller...
+    assert record.as_wire()["detail"]["snapshot"] == {"queue": [1, 2, 3]}  # ...is visible
+
+
+def test_pickled_log_rebuilds_indexes_and_digest():
+    log = build_golden_log()
+    log.select(category="proc")  # force a fold + eat the digest
+    log.fingerprint()
+    clone = pickle.loads(pickle.dumps(log))
+    assert clone._indexed == 0  # derived state dropped by __getstate__
+    assert clone.fingerprint() == GOLDEN_LOG_FP
+    assert clone.select(category="proc") == log.select(category="proc")
