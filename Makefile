@@ -26,21 +26,22 @@ test-par:
 # cached in .oftt-lint-cache.json (keyed by content hash + rule-set
 # version); pass --no-cache to force a cold run.
 lint:
-	$(PY) -m repro.analysis src/repro --strict --effects --hotpath
+	$(PY) -m repro.analysis src/repro --strict --effects --hotpath --lifecycle
 
 # Tests are linted with the per-directory profile: the ambient DET rules
 # (unseeded randomness, entropy, environment reads) are relaxed because
 # property-style tests and CLI fixtures use them deliberately, and the
 # PURE rules because test tasks exercise impurity on purpose.  The
-# planted-defect corpus additionally violates both race families by
-# design.
+# planted-defect corpus additionally violates both race families and all
+# six lifecycle rules by design (the default lifecycle manifest matches
+# by method name, so the planted corpus classes trip it directly).
 lint-tests:
-	$(PY) -m repro.analysis tests --strict --effects --hotpath \
+	$(PY) -m repro.analysis tests --strict --effects --hotpath --lifecycle \
 		--relax tests=DET002,DET003,DET006,PURE001,PURE002,PURE003,PURE004 \
-		--relax tests/analysis/corpus=RACE001,RACE002,RACE003,RACE101,RACE102,RACE103
+		--relax tests/analysis/corpus=RACE001,RACE002,RACE003,RACE101,RACE102,RACE103,LIFE001,LIFE002,LIFE003,LIFE004,LIFE005,LIFE006
 
 lint-json:
-	$(PY) -m repro.analysis src/repro --strict --effects --hotpath --format json
+	$(PY) -m repro.analysis src/repro --strict --effects --hotpath --lifecycle --format json
 
 replay:
 	$(PY) -m repro.replay --gate

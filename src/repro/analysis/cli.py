@@ -32,25 +32,38 @@ import os
 import sys
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
-from repro.analysis import cache, comcheck, determinism, effects, hotpath, races
+from repro.analysis import cache, comcheck, determinism, effects, hotpath, lifecycle, races
 from repro.analysis.findings import AnalysisError, Finding, Severity, all_rules, lookup
 from repro.analysis.report import render_json, render_text
 from repro.analysis.walker import Pass, load_sources, run_passes, suppression_errors
 
-#: Registered passes, in execution order.  ``effects`` and ``hot`` are
-#: opt-in via ``--effects``/``--hotpath`` (or explicit ``--passes``
-#: entries) because they are whole-program passes; ``make lint`` turns
-#: both on.
+#: Registered passes, in execution order.  ``effects``, ``hot`` and
+#: ``life`` are opt-in via ``--effects``/``--hotpath``/``--lifecycle``
+#: (or explicit ``--passes`` entries) because they are whole-program
+#: passes; ``make lint`` turns all three on.
 PASSES: Dict[str, Pass] = {
     "det": determinism.run,
     "com": comcheck.run,
     "race": races.run,
     "effects": effects.run,
     "hot": hotpath.run,
+    "life": lifecycle.run,
 }
 
 #: Passes run when ``--passes`` is not given.
 DEFAULT_PASSES = "det,com,race"
+
+#: Rule-id family prefix -> passes that can emit it, for ``--only``.
+#: GEN findings (syntax/suppression hygiene) always pass the filter.
+FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "GEN": (),
+    "DET": ("det",),
+    "COM": ("com",),
+    "RACE": ("race", "effects"),
+    "PURE": ("effects",),
+    "HOT": ("hot",),
+    "LIFE": ("life",),
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,7 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("paths", nargs="*", default=["src/repro"],
                         help="files or directories to analyse (default: src/repro)")
     parser.add_argument("--passes", default=DEFAULT_PASSES, metavar="NAMES",
-                        help="comma-separated subset of det,com,race,effects,hot "
+                        help="comma-separated subset of det,com,race,effects,hot,life "
                              f"(default: {DEFAULT_PASSES})")
     parser.add_argument("--effects", action="store_true",
                         help="also run the interprocedural effects pass "
@@ -72,6 +85,16 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--hot-manifest", default=None, metavar="PATH",
                         help="hot-root manifest for the hotpath pass "
                              "(default: the checked-in repro/analysis/hotpath.manifest)")
+    parser.add_argument("--lifecycle", action="store_true",
+                        help="also run the resource-lifecycle pass (LIFE001-006 "
+                             "acquire/release leaks against the lifecycle manifest)")
+    parser.add_argument("--life-manifest", default=None, metavar="PATH",
+                        help="acquire/release manifest for the lifecycle pass "
+                             "(default: the checked-in repro/analysis/lifecycle.manifest)")
+    parser.add_argument("--only", default=None, metavar="FAMILIES",
+                        help="restrict to the named rule families, e.g. --only LIFE,HOT: "
+                             "runs exactly the passes those families need and reports "
+                             "only their findings (plus GEN hygiene)")
     parser.add_argument("--max-k", type=int, default=effects.DEFAULT_MAX_K, metavar="N",
                         help="inlining depth for the effects/hotpath passes: effects and "
                              "hotness propagate through at most N call hops "
@@ -135,9 +158,36 @@ def apply_relaxations(
     return relaxed
 
 
+def rule_family(rule_id: str) -> str:
+    """Leading alphabetic prefix of a rule id (``LIFE003`` -> ``LIFE``)."""
+    alpha = 0
+    while alpha < len(rule_id) and rule_id[alpha].isalpha():
+        alpha += 1
+    return rule_id[:alpha]
+
+
+def parse_only(spec: str) -> Set[str]:
+    """Parse ``--only LIFE,HOT`` into a family set; typos are usage errors."""
+    families = {token.strip().upper() for token in spec.split(",") if token.strip()}
+    if not families:
+        raise AnalysisError(f"bad --only spec {spec!r}; expected FAMILY[,FAMILY...]")
+    unknown = sorted(families - set(FAMILIES))
+    if unknown:
+        raise AnalysisError(
+            f"unknown rule family {', '.join(unknown)} (choose from {', '.join(sorted(FAMILIES))})"
+        )
+    return families
+
+
 def list_rules() -> str:
-    lines = []
+    lines: List[str] = []
+    family = None
     for entry in all_rules():
+        if rule_family(entry.rule_id) != family:
+            if family is not None:
+                lines.append("")
+            family = rule_family(entry.rule_id)
+            lines.append(f"# {family}")
         lines.append(f"{entry.rule_id}  {entry.slug:24s} {str(entry.severity):8s} [{entry.pass_name}] {entry.summary}")
     return "\n".join(lines)
 
@@ -154,9 +204,18 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         pass_names.append("effects")
     if options.hotpath and "hot" not in pass_names:
         pass_names.append("hot")
+    if options.lifecycle and "life" not in pass_names:
+        pass_names.append("life")
     try:
         if options.max_k < 0:
             raise AnalysisError(f"--max-k must be >= 0, got {options.max_k}")
+        only_families: Optional[Set[str]] = None
+        if options.only is not None:
+            # Run exactly the passes the selected families need, in the
+            # canonical PASSES order, regardless of other flags.
+            only_families = parse_only(options.only)
+            needed = {name for family in only_families for name in FAMILIES[family]}
+            pass_names = [name for name in PASSES if name in needed]
         named: List[Tuple[str, Pass]] = []
         for name in pass_names:
             if name not in PASSES:
@@ -165,6 +224,8 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                 named.append((name, effects.make_pass(options.max_k)))
             elif name == "hot":
                 named.append((name, hotpath.make_pass(options.max_k, options.hot_manifest)))
+            elif name == "life":
+                named.append((name, lifecycle.make_pass(options.max_k, options.life_manifest)))
             else:
                 named.append((name, PASSES[name]))
         relaxations = parse_relaxations(options.relax)
@@ -172,6 +233,10 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         if "hot" in pass_names:
             # Editing the manifest must invalidate cached hot findings.
             manifest_digest = cache.file_digest(options.hot_manifest or hotpath.DEFAULT_MANIFEST)
+        life_digest = ""
+        if "life" in pass_names:
+            # Same contract for the lifecycle manifest.
+            life_digest = cache.file_digest(options.life_manifest or lifecycle.DEFAULT_MANIFEST)
         files, load_findings = load_sources(options.paths or ["src/repro"])
     except AnalysisError as exc:
         print(f"oftt-lint: {exc}", file=sys.stderr)
@@ -180,12 +245,15 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     if options.no_cache:
         findings = run_passes(files, [one_pass for _, one_pass in named])
     else:
-        config_key = f"max_k={options.max_k};manifest={manifest_digest}"
+        config_key = f"max_k={options.max_k};manifest={manifest_digest};life_manifest={life_digest}"
         findings, _stats = cache.run_cached(files, named, options.cache_path, config_key)
         findings.extend(suppression_errors(files))
         findings.sort(key=Finding.sort_key)
     findings = sorted(load_findings + findings, key=lambda f: f.sort_key())
     findings = apply_relaxations(findings, relaxations)
+    if only_families is not None:
+        keep = only_families | {"GEN"}
+        findings = [f for f in findings if rule_family(f.rule.rule_id) in keep]
 
     if options.format == "json":
         sys.stdout.write(render_json(findings, len(files), pass_names))

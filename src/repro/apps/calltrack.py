@@ -88,7 +88,9 @@ class CallTrackApp(OfttApplication):
 
         # Consume the diverter inbox for our logical unit.
         queue = context.qmgr.create_queue(inbox_queue_name(self.unit), journal=True)
-        queue.subscribe(self._on_queue_message)
+        # Released by the process-exit hook on the next line — a dynamic
+        # unsubscribe path the static release search cannot see.
+        queue.subscribe(self._on_queue_message)  # oftt-lint: ok[leaked-subscription]
         process.on_exit.append(lambda _p: queue.unsubscribe())
 
         self.launch_count += 1

@@ -109,7 +109,10 @@ class SyntheticStateApp(OfttApplication):
                     space.write("applied", state["applied"])
                     space.write("last_n", state["last_n"])
 
-            queue.subscribe(on_workload)
+            # Single-subscriber slot: a relaunch's subscribe replaces this
+            # one, and the dead-copy guard inside on_workload unsubscribes
+            # itself — no static teardown path to point the pass at.
+            queue.subscribe(on_workload)  # oftt-lint: ok[leaked-subscription]
 
         api = OfttApi(context, self.name, process)
         api.OFTTInitialize(stateful=True, checkpoint_period=self.checkpoint_period)

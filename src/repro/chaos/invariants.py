@@ -48,6 +48,9 @@ class InvariantMonitor:
 
     def __init__(self) -> None:
         self.violations: List[Violation] = []
+        #: (hook list, callback) pairs registered on engines; released
+        #: by detach() so monitors never outlive the run they observed.
+        self._hooked: List[Tuple[List, Any]] = []
 
     def attach(self, scenario: Any) -> None:
         """Called once before the run starts."""
@@ -60,6 +63,18 @@ class InvariantMonitor:
 
     def finalize(self, scenario: Any, now: float) -> None:
         """Called once when the horizon is reached."""
+
+    def detach(self) -> None:
+        """Remove every engine hook this monitor registered."""
+        for hooks, callback in self._hooked:
+            if callback in hooks:
+                hooks.remove(callback)
+        self._hooked = []
+
+    def _hook(self, hooks: List, callback: Any) -> None:
+        """Register *callback* on an engine hook list, remembering it."""
+        hooks.append(callback)
+        self._hooked.append((hooks, callback))
 
     def _violate(self, time: float, **detail: Any) -> None:
         self.violations.append(Violation(invariant=self.name, time=time, detail=detail))
@@ -202,8 +217,8 @@ class CheckpointMonotonicityMonitor(InvariantMonitor):
                 )
             self._stored[id(eng)][checkpoint.app_name] = checkpoint.sequence
 
-        engine.on_checkpoint_submit.append(on_submit)
-        engine.on_checkpoint_stored.append(on_stored)
+        self._hook(engine.on_checkpoint_submit, on_submit)
+        self._hook(engine.on_checkpoint_stored, on_stored)
 
 
 class DiverterConservationMonitor(InvariantMonitor):
@@ -398,8 +413,8 @@ class ReplicaFreshnessMonitor(InvariantMonitor):
         def on_stored(eng: Any, checkpoint: Any) -> None:
             self._stored[eng.node_name] = max(self._stored.get(eng.node_name, 0), checkpoint.sequence)
 
-        engine.on_checkpoint_submit.append(on_submit)
-        engine.on_checkpoint_stored.append(on_stored)
+        self._hook(engine.on_checkpoint_submit, on_submit)
+        self._hook(engine.on_checkpoint_stored, on_stored)
 
     def on_tick(self, scenario: Any, now: float) -> None:
         if not self._enabled:
@@ -486,7 +501,7 @@ class StrategyFlappingMonitor(InvariantMonitor):
                     latest=f"{old} -> {new} ({reason})",
                 )
 
-        engine.on_strategy_switch.append(on_switch)
+        self._hook(engine.on_strategy_switch, on_switch)
 
 
 class RestartThrashMonitor(InvariantMonitor):

@@ -162,6 +162,8 @@ class ChaosRun:
         now = scenario.kernel.now
         for monitor in self.monitors:
             monitor.finalize(scenario, now)
+        for monitor in self.monitors:
+            monitor.detach()
         violations = sorted(
             (v for monitor in self.monitors for v in monitor.violations),
             key=lambda v: (v.time, v.invariant),

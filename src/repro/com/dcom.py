@@ -102,6 +102,18 @@ class DcomExporter:
         self.activation_handler: Optional[Callable[[str], ObjRef]] = None
         node.bind(ORPC_PORT, self._on_message)
 
+    def close(self) -> None:
+        """Release every in-flight call's timeout timer (node teardown).
+
+        Pending events are left unfired — a closed exporter answers
+        nobody — but their timers leave the kernel immediately instead
+        of draining at the RPC timeout.
+        """
+        for call_id in sorted(self._pending):
+            _done, timer = self._pending[call_id]
+            self.kernel.cancel(timer)
+        self._pending.clear()
+
     # -- export side -----------------------------------------------------------
 
     def export(self, obj: ComObject, label: str = "", process: Optional[NTProcess] = None) -> ObjRef:

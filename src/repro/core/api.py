@@ -145,6 +145,19 @@ class OfttApi:
         self._watchdog(name).delete()
         del self._watchdogs[name]
 
+    def close(self) -> None:
+        """Destroy every watchdog this API handle still owns.
+
+        Applications normally delete their own watchdogs; close() is the
+        backstop for teardown paths (app unload, component unregister)
+        so no armed watchdog outlives the application that pets it.
+        """
+        for name in sorted(self._watchdogs):
+            watchdog = self._watchdogs[name]
+            if not watchdog.deleted:
+                watchdog.delete()
+        self._watchdogs.clear()
+
     def _watchdog(self, name: str) -> WatchdogTimer:
         if name not in self._watchdogs:
             raise WatchdogError(f"{self.app_name}: no watchdog {name}")

@@ -123,7 +123,9 @@ class DiverterClient:
 
     def on_primary_change(self, listener: Callable[[str], None]) -> None:
         """Register a callback fired when the believed primary changes."""
-        self._listeners.append(listener)
+        # Registration API, not an event handler (despite the on_ name):
+        # one append per listener registered at setup, bounded by callers.
+        self._listeners.append(listener)  # oftt-lint: ok[unbounded-growth]
 
     # -- sending ------------------------------------------------------------------------
 

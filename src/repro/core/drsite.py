@@ -83,7 +83,18 @@ class DRSite:
         # Poll well inside the activation timeout so activation latency
         # is dominated by the timeout itself, not the poll grid.
         self._watch_period = max(config.dr_activation_timeout / 4.0, 250.0)
-        self.kernel.schedule(self._watch_period, self._watch)
+        self._watch_timer: Optional[int] = self.kernel.schedule(self._watch_period, self._watch)
+
+    def stop(self) -> None:
+        """Retire the site: stop the activation watch and journal intake.
+
+        The journal and any reconstructed image stay readable — only the
+        live machinery (poll timer, queue subscription) is released.
+        """
+        if self._watch_timer is not None:
+            self.kernel.cancel(self._watch_timer)
+            self._watch_timer = None
+        self.queue.unsubscribe()
 
     # -- journal intake ------------------------------------------------------------
 
@@ -101,7 +112,10 @@ class DRSite:
             self.last_pair_signal = self.kernel.now
         elif kind == "msg":
             self.messages_rx += 1
-            self.message_log.append(body["body"])
+            # The journal IS the recovery state: reconstruct() replays it
+            # verbatim, so it must not be pruned here.  Compaction under
+            # long-horizon soak is ROADMAP item 5.
+            self.message_log.append(body["body"])  # oftt-lint: ok[unbounded-growth]
 
     def _on_pair_heartbeat(self, _message: Any) -> None:  # oftt-lint: ok[race-write-write,ip-race-write-write]
         self.last_pair_signal = self.kernel.now
@@ -118,7 +132,7 @@ class DRSite:
             and now - self.last_pair_signal > self.config.dr_activation_timeout
         ):
             self._activate(now - self.last_pair_signal)
-        self.kernel.schedule(self._watch_period, self._watch)
+        self._watch_timer = self.kernel.schedule(self._watch_period, self._watch)
 
     def _activate(self, silence: float) -> None:
         self.active = True

@@ -47,13 +47,16 @@ IENGINE = declare_interface(
 class _Component:
     """Engine-side record of one monitored component."""
 
-    __slots__ = ("name", "kind", "process", "status")
+    __slots__ = ("name", "kind", "process", "status", "exit_hook")
 
     def __init__(self, name: str, kind: ComponentKind, process: NTProcess) -> None:
         self.name = name
         self.kind = kind
         self.process = process
         self.status = ComponentStatus.RUNNING
+        #: Exit hook appended to process.on_exit, kept so unregistering
+        #: the component can remove it again.
+        self.exit_hook = None
 
 
 class OfttEngine(ComObject):
@@ -157,6 +160,10 @@ class OfttEngine(ComObject):
         self.checkpoint_sizes: List[int] = []
         #: Waiters for peer acknowledgement of a sequence (durable saves).
         self._ack_waiters: List = []  # (sequence, Event) pairs
+        #: Handles of the heartbeat/status report loops, cancelled on
+        #: process exit so a dead engine leaves nothing in the kernel.
+        self._hb_timer: Optional[int] = None
+        self._report_timer: Optional[int] = None
         self._stats = {"heartbeats_rx": 0, "checkpoints_tx": 0, "checkpoints_rx": 0, "acks_rx": 0}
         #: Observation hooks for invariant monitors and fault triggers
         #: (repro.chaos): fired after a local checkpoint is submitted /
@@ -198,7 +205,14 @@ class OfttEngine(ComObject):
     def _on_process_exit(self, _process: NTProcess) -> None:
         # §4 demo (d): middleware failure.  Everything engine-driven stops.
         self.stopped = True
+        if self._hb_timer is not None:
+            self.kernel.cancel(self._hb_timer)
+            self._hb_timer = None
+        if self._report_timer is not None:
+            self.kernel.cancel(self._report_timer)
+            self._report_timer = None
         self.monitor.stop()
+        self.monitor.clear()
         if self.policy is not None:
             self.policy.stop()
         # Sorted so teardown side effects (timer cancels, traces) fire in
@@ -239,13 +253,33 @@ class OfttEngine(ComObject):
         """Start monitoring a component linked with an FTIM."""
         if not self.alive:
             raise OfttError(f"engine on {self.node_name} is not running")
-        self.components[name] = _Component(name, kind, process)
+        record = _Component(name, kind, process)
+        self.components[name] = record
         self.monitor.watch(name, self.config.heartbeat_timeout)
         if rule is not None:
             self.recovery.set_rule(name, rule)
         if self.config.use_exit_hooks:
-            process.on_exit.append(lambda _p, n=name: self._on_component_exit(n))
+            record.exit_hook = lambda _p, n=name: self._on_component_exit(n)
+            process.on_exit.append(record.exit_hook)
         self.trace.emit("engine", self.node_name, "component-registered", target=name, kind=kind.value)
+
+    def unregister_component(self, name: str) -> None:
+        """Stop monitoring a component and release everything watching it.
+
+        The inverse of :meth:`register_component`: removes the heartbeat
+        watch, forgets recovery history, and unhooks the process-exit
+        callback so a later exit of the (now unmanaged) process does not
+        trigger recovery.  Idempotent; unknown names are a no-op.
+        """
+        record = self.components.pop(name, None)
+        if record is None:
+            return
+        self.monitor.unwatch(name)
+        self.recovery.clear(name)
+        if record.exit_hook is not None and record.exit_hook in record.process.on_exit:
+            record.process.on_exit.remove(record.exit_hook)
+        record.exit_hook = None
+        self.trace.emit("engine", self.node_name, "component-unregistered", target=name)
 
     def heartbeat_from(self, name: str) -> None:
         """Receive a local component heartbeat (direct same-node call)."""
@@ -567,7 +601,9 @@ class OfttEngine(ComObject):
             payload["strategy"] = self.strategy_name
         self._send_to_peer(payload)
         self.strategy.on_heartbeat_tick()
-        self.kernel.schedule(self.scaled(self.config.peer_heartbeat_period), self._peer_heartbeat_loop)
+        self._hb_timer = self.kernel.schedule(
+            self.scaled(self.config.peer_heartbeat_period), self._peer_heartbeat_loop
+        )
 
     def _on_engine_message(self, message) -> None:
         if not self.alive:
@@ -679,7 +715,9 @@ class OfttEngine(ComObject):
         # relearn the primary within one report period.
         if self.role is Role.PRIMARY:
             self._broadcast_role_change()
-        self.kernel.schedule(self.scaled(self.config.status_report_period), self._status_report_loop)
+        self._report_timer = self.kernel.schedule(
+            self.scaled(self.config.status_report_period), self._status_report_loop
+        )
 
     def status_reports(self) -> List[StatusReport]:
         """Current status of everything this engine monitors."""

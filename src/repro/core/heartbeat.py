@@ -110,6 +110,10 @@ class HeartbeatMonitor:
         """Stop monitoring (idempotent)."""
         self._watches.pop(component, None)
 
+    def clear(self) -> None:
+        """Drop every watch (full engine teardown)."""
+        self._watches.clear()
+
     def pause(self, component: str) -> None:
         """Keep the watch but suppress failure detection (e.g. during a
         deliberate restart, so the gap is not reported as a failure)."""
@@ -180,11 +184,15 @@ class HeartbeatMonitor:
         if self._running:
             return
         self._running = True
+        self._cancel_timer()
         self._timer = self.kernel.schedule(self.sweep_period, self._sweep)
 
     def stop(self) -> None:
         """Halt sweeps (the engine is shutting down or died)."""
         self._running = False
+        self._cancel_timer()
+
+    def _cancel_timer(self) -> None:
         if self._timer is not None:
             self.kernel.cancel(self._timer)
             self._timer = None

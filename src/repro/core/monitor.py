@@ -49,6 +49,11 @@ class SystemMonitor:
         """Live-stream every incoming report to *callback*."""
         self._subscribers.append(callback)
 
+    def unsubscribe(self, callback: Callable[[StatusReport], None]) -> None:
+        """Stop streaming to *callback* (idempotent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
     # -- queries --------------------------------------------------------------------
 
     def status_of(self, node: str, component: str) -> Optional[ComponentStatus]:

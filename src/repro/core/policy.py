@@ -182,6 +182,7 @@ class AdaptivePolicy:
         self._tuned_regime: Optional[FaultRegime] = None
         self._last_switch_at: Optional[float] = None
         self._running = False
+        self._timer: Optional[int] = None
 
     # -- recovery governance ------------------------------------------------------
 
@@ -264,10 +265,19 @@ class AdaptivePolicy:
         if self._running:
             return
         self._running = True
-        self.kernel.schedule(self.engine.scaled(self.config.heartbeat_period), self._tick)
+        self._cancel_timer()
+        self._timer = self.kernel.schedule(
+            self.engine.scaled(self.config.heartbeat_period), self._tick
+        )
 
     def stop(self) -> None:
         self._running = False
+        self._cancel_timer()
+
+    def _cancel_timer(self) -> None:
+        if self._timer is not None:
+            self.kernel.cancel(self._timer)
+            self._timer = None
 
     def _tick(self) -> None:
         if not self._running or not self.engine.alive:
@@ -280,7 +290,9 @@ class AdaptivePolicy:
         if self.config.policy_switch_strategies:
             self._maybe_switch_strategy(regime)
         self._stability_sweep()
-        self.kernel.schedule(self.engine.scaled(self.config.heartbeat_period), self._tick)
+        self._timer = self.kernel.schedule(
+            self.engine.scaled(self.config.heartbeat_period), self._tick
+        )
 
     def _apply_regime(self, regime: FaultRegime) -> None:
         if regime is self._tuned_regime:

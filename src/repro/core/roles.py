@@ -100,12 +100,21 @@ class RoleNegotiator:
         )
 
     def _arm_wait(self) -> None:
+        # Defensive: a stale handle here is either None or already fired
+        # (cancel of a fired handle is a no-op), so re-arming can never
+        # stack two live wait timers.
+        self._cancel_wait()
         self._wait_timer = self.kernel.schedule(self.config.startup_wait, self._on_wait_expired)
 
     def _cancel_wait(self) -> None:
         if self._wait_timer is not None:
             self.kernel.cancel(self._wait_timer)
             self._wait_timer = None
+
+    def stop(self) -> None:
+        """Abandon negotiation and release the wait timer (node teardown)."""
+        self._negotiating = False
+        self._cancel_wait()
 
     def _on_wait_expired(self) -> None:
         if not self._negotiating:

@@ -387,6 +387,7 @@ class ChaosScenario(_BaseScenario):
         self.workload_period = workload_period
         self.workload_sent = 0
         self._workload_on = False
+        self._workload_timer: Optional[int] = None
 
         from repro.apps.synthetic import SyntheticStateApp
 
@@ -452,13 +453,16 @@ class ChaosScenario(_BaseScenario):
     def stop_workload(self) -> None:
         """Stop generating client traffic (drain phase of a run)."""
         self._workload_on = False
+        if self._workload_timer is not None:
+            self.kernel.cancel(self._workload_timer)
+            self._workload_timer = None
 
     def _workload_tick(self) -> None:
         if not self._workload_on:
             return
         self.workload_sent += 1
         self.diverter_client.send({"op": "tick", "n": self.workload_sent}, label="workload")
-        self.kernel.schedule(self.workload_period, self._workload_tick)
+        self._workload_timer = self.kernel.schedule(self.workload_period, self._workload_tick)
 
 
 def build_chaos(seed: int = 0, config: Optional[OfttConfig] = None, **kwargs) -> ChaosScenario:

@@ -100,6 +100,17 @@ class QueueManager:
         node.bind(MSQ_PORT, self._bound_handler)
         self._retry_timer = kernel.schedule(self.retry_interval, self._retry_pass)
 
+    def stop(self) -> None:
+        """Retire this manager: release the retry timer immediately.
+
+        A replaced manager (node reinstall) self-retires on its next
+        retry pass anyway; calling ``stop`` releases the timer without
+        waiting out the interval.  Queues and journals stay readable.
+        """
+        if self._retry_timer is not None:
+            self.kernel.cancel(self._retry_timer)
+            self._retry_timer = None
+
     # -- queue management -------------------------------------------------------
 
     def create_queue(self, name: str, journal: bool = False) -> MsmqQueue:

@@ -507,7 +507,9 @@ class SimKernel:
     # -- error policy ----------------------------------------------------
 
     def _on_process_error(self, process: Process, error: BaseException) -> None:
-        self.process_errors.append((process, error))
+        # Post-mortem diagnostic log: grows only on process failures,
+        # which either raise immediately or end the run under test.
+        self.process_errors.append((process, error))  # oftt-lint: ok[unbounded-growth]
         if self.on_error == "raise":
             self._raised = error
 

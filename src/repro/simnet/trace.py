@@ -249,6 +249,11 @@ class TraceLog:
         """Invoke *callback* for every future record (live monitoring)."""
         self._subscribers.append(callback)
 
+    def unsubscribe(self, callback: Callable[[TraceRecord], None]) -> None:
+        """Stop invoking *callback* (idempotent)."""
+        if callback in self._subscribers:
+            self._subscribers.remove(callback)
+
     def emit(self, category: str, component: str, event: str, **detail: Any) -> TraceRecord:
         """Append a record stamped with the current simulated time.
 

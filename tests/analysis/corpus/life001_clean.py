@@ -1,0 +1,29 @@
+"""Clean twin of life001: stop() releases the handle through a helper.
+
+The cancel is one call hop from the teardown method, exercising the
+k-bounded release search.
+"""
+
+
+class Looper:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.period = 100.0
+        self._timer = None
+        self.ticks = 0
+
+    def start(self):
+        self._cancel()
+        self._timer = self.kernel.schedule(self.period, self._tick)
+
+    def stop(self):
+        self._cancel()
+
+    def _cancel(self):
+        if self._timer is not None:
+            self.kernel.cancel(self._timer)
+            self._timer = None
+
+    def _tick(self):
+        self.ticks += 1
+        self._timer = self.kernel.schedule(self.period, self._tick)

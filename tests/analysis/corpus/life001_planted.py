@@ -1,0 +1,18 @@
+"""Planted LIFE001: timer handle stored on self, stop() never cancels."""
+
+
+class Looper:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.period = 100.0
+        self._timer = None
+        self.ticks = 0
+
+    def start(self):
+        self._timer = self.kernel.schedule(self.period, self._tick)  # expect: LIFE001
+
+    def stop(self):
+        self.ticks = 0  # forgets the armed timer
+
+    def _tick(self):
+        self.ticks += 1

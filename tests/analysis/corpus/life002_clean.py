@@ -1,0 +1,15 @@
+"""Clean twin of life002: stop() removes the watch it registered."""
+
+
+class PeerGuard:
+    def __init__(self, monitor):
+        self.monitor = monitor
+        self.running = False
+
+    def start(self):
+        self.monitor.watch("peer", 500.0)
+        self.running = True
+
+    def stop(self):
+        self.running = False
+        self.monitor.unwatch("peer")

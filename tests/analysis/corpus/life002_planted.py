@@ -1,0 +1,14 @@
+"""Planted LIFE002: heartbeat watch registered, never unwatched."""
+
+
+class PeerGuard:
+    def __init__(self, monitor):
+        self.monitor = monitor
+        self.running = False
+
+    def start(self):
+        self.monitor.watch("peer", 500.0)  # expect: LIFE002
+        self.running = True
+
+    def stop(self):
+        self.running = False

@@ -1,0 +1,18 @@
+"""Clean twin of life003: close() reaps the process it launched."""
+
+
+class AppHost:
+    def __init__(self, system):
+        self.system = system
+        self.process = None
+        self.launches = 0
+
+    def launch(self):
+        self.process = self.system.create_process("app")
+        self.launches += 1
+        return self.process
+
+    def close(self):
+        if self.process is not None:
+            self.process.kill()
+            self.process = None

@@ -1,0 +1,13 @@
+"""Planted LIFE003: process created and stored, class has no teardown."""
+
+
+class AppHost:
+    def __init__(self, system):
+        self.system = system
+        self.process = None
+        self.launches = 0
+
+    def launch(self):
+        self.process = self.system.create_process("app")  # expect: LIFE003
+        self.launches += 1
+        return self.process

@@ -1,0 +1,16 @@
+"""Clean twin of life004: stop() unsubscribes on the same receiver."""
+
+
+class LiveView:
+    def __init__(self, trace):
+        self.trace = trace
+        self.count = 0
+
+    def attach(self):
+        self.trace.subscribe(self._on_record)
+
+    def stop(self):
+        self.trace.unsubscribe(self._on_record)
+
+    def _on_record(self, record):
+        self.count += 1

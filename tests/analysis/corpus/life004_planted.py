@@ -1,0 +1,16 @@
+"""Planted LIFE004: trace subscription never released on teardown."""
+
+
+class LiveView:
+    def __init__(self, trace):
+        self.trace = trace
+        self.count = 0
+
+    def attach(self):
+        self.trace.subscribe(self._on_record)  # expect: LIFE004
+
+    def stop(self):
+        self.count = 0  # detaches nothing
+
+    def _on_record(self, record):
+        self.count += 1

@@ -1,0 +1,24 @@
+"""Clean twin of life005: rearm cancels the previous handle first."""
+
+
+class Watchdog:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.period = 250.0
+        self._timer = None
+        self.fired = 0
+
+    def rearm(self):
+        self._cancel()
+        self._timer = self.kernel.schedule(self.period, self._expired)
+
+    def stop(self):
+        self._cancel()
+
+    def _cancel(self):
+        if self._timer is not None:
+            self.kernel.cancel(self._timer)
+            self._timer = None
+
+    def _expired(self):
+        self.fired += 1

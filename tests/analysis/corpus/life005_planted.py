@@ -1,0 +1,25 @@
+"""Planted LIFE005: rearm overwrites a live handle without cancelling.
+
+stop() does release the stored handle, so LIFE001 stays quiet — the
+defect is only that re-arming outside the timer's own callback drops
+the previous (still scheduled) handle on the floor.
+"""
+
+
+class Watchdog:
+    def __init__(self, kernel):
+        self.kernel = kernel
+        self.period = 250.0
+        self._timer = None
+        self.fired = 0
+
+    def rearm(self):
+        self._timer = self.kernel.schedule(self.period, self._expired)  # expect: LIFE005
+
+    def stop(self):
+        if self._timer is not None:
+            self.kernel.cancel(self._timer)
+            self._timer = None
+
+    def _expired(self):
+        self.fired += 1

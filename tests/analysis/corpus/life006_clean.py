@@ -1,0 +1,15 @@
+"""Clean twin of life006: teardown clears the container the handler fills."""
+
+
+class Collector:
+    def __init__(self):
+        self.log = []
+        self.seen = 0
+
+    def _on_message(self, message):
+        self.seen += 1
+        self.log.append(message)
+
+    def stop(self):
+        self.seen = 0
+        self.log.clear()

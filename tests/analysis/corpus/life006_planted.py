@@ -1,0 +1,14 @@
+"""Planted LIFE006: handler appends to a long-lived list, nothing prunes."""
+
+
+class Collector:
+    def __init__(self):
+        self.log = []
+        self.seen = 0
+
+    def _on_message(self, message):
+        self.seen += 1
+        self.log.append(message)  # expect: LIFE006
+
+    def stop(self):
+        self.seen = 0  # log keeps growing forever

@@ -125,5 +125,36 @@ def test_config_change_invalidates_project_reuse(tmp_path):
     assert data["schema"] == cache.SCHEMA
 
 
+def test_lifecycle_manifest_edit_invalidates_warm_cache(tmp_path):
+    """Editing the lifecycle manifest must re-run the pass, not reuse."""
+    target = tmp_path / "mod.py"
+    target.write_text(
+        "class Looper:\n"
+        "    def __init__(self, kernel):\n"
+        "        self.kernel = kernel\n"
+        "        self._timer = None\n"
+        "\n"
+        "    def begin(self):\n"
+        "        self._timer = self.kernel.arm(10.0, self._tick)\n"
+        "\n"
+        "    def stop(self):\n"
+        "        pass\n"
+        "\n"
+        "    def _tick(self):\n"
+        "        pass\n",
+        encoding="utf-8",
+    )
+    manifest = tmp_path / "life.manifest"
+    manifest.write_text("pair timer Kernel.disarm -> cancel\n", encoding="utf-8")
+    extra = ["--passes", "life", "--life-manifest", str(manifest), "--strict"]
+    code, findings = _run(tmp_path, target, extra=extra)
+    assert (code, findings) == (0, [])  # `arm` is not an acquire yet
+    # The manifest gains the pair; the warm cache must not mask it.
+    manifest.write_text("pair timer Kernel.arm -> cancel\n", encoding="utf-8")
+    code, findings = _run(tmp_path, target, extra=extra)
+    assert code == 1
+    assert any(f["rule"] == "LIFE001" for f in findings)
+
+
 def test_ruleset_version_is_stable_within_a_process():
     assert cache.ruleset_version() == cache.ruleset_version()

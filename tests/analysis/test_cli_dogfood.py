@@ -117,9 +117,13 @@ def test_list_rules_catalogue(capsys):
         "DET001", "DET004", "COM001", "COM004", "RACE001", "RACE004",
         "RACE101", "RACE102", "RACE103",
         "PURE001", "PURE002", "PURE003", "PURE004",
+        "HOT001", "HOT006",
+        "LIFE001", "LIFE002", "LIFE003", "LIFE004", "LIFE005", "LIFE006",
         "GEN001", "GEN002",
     ):
         assert rule_id in out
+    # The catalogue is grouped by family for scanability.
+    assert "# LIFE" in out
 
 
 def test_effects_flag_appends_the_effects_pass(tmp_path, capsys):

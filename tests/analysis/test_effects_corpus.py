@@ -20,13 +20,19 @@ from repro.analysis.walker import load_sources, run_passes
 CORPUS = os.path.join(os.path.dirname(__file__), "corpus")
 MARKER = re.compile(r"#\s*expect:\s*([A-Z]+\d+)")
 
-# ``hot00X_*`` files belong to the hotpath pass and are gated by
-# tests/analysis/test_hotpath_corpus.py with their own root convention.
+# ``hot00X_*`` files belong to the hotpath pass (gated by
+# tests/analysis/test_hotpath_corpus.py with their own root convention)
+# and ``life00X_*`` files to the lifecycle pass (gated by
+# tests/analysis/test_lifecycle_corpus.py under the default manifest).
 PLANTED = sorted(
-    f for f in os.listdir(CORPUS) if f.endswith("_planted.py") and not f.startswith("hot")
+    f
+    for f in os.listdir(CORPUS)
+    if f.endswith("_planted.py") and not f.startswith(("hot", "life"))
 )
 CLEAN = sorted(
-    f for f in os.listdir(CORPUS) if f.endswith("_clean.py") and not f.startswith("hot")
+    f
+    for f in os.listdir(CORPUS)
+    if f.endswith("_clean.py") and not f.startswith(("hot", "life"))
 )
 
 

@@ -1,0 +1,92 @@
+"""Teardown regression tests: nothing stays armed after orderly shutdown.
+
+These back the lifecycle pass (LIFE001-006) with runtime proof: the
+acquire/release pairs the linter checks statically really do balance at
+the kernel level.  A leaked timer or watch here would keep a dead
+engine's callbacks firing into fleet-scale campaign runs.
+"""
+
+from __future__ import annotations
+
+from repro.core.config import RecoveryRule
+from repro.core.status import ComponentKind
+
+from tests.core.util import make_pair_world
+
+
+def started_world():
+    world = make_pair_world()
+    world.start()
+    world.run_for(3_000.0)
+    return world
+
+
+def make_component_process(world, node, name="userapp"):
+    process = world.pair.contexts[node].system.create_process(name)
+    process.start()
+    return process
+
+
+def test_shutdown_cancels_engine_timers_and_watches():
+    world = started_world()
+    for node in ("alpha", "beta"):
+        engine = world.pair.engines[node]
+        assert engine._hb_timer is not None  # armed while running
+        engine.shutdown()
+        assert engine._hb_timer is None
+        assert engine._report_timer is None
+        assert engine.monitor._timer is None
+        assert engine.monitor.watched() == []
+
+
+def test_unregister_component_releases_watch_hook_and_history():
+    world = started_world()
+    node = world.primary
+    engine = world.pair.engines[node]
+    process = make_component_process(world, node)
+
+    engine.register_component(
+        "userapp", ComponentKind.APPLICATION, process, rule=RecoveryRule()
+    )
+    assert "userapp" in engine.monitor.watched()
+    hooks_before = len(process.on_exit)
+    assert hooks_before >= 1  # exit hook installed
+
+    engine.unregister_component("userapp")
+    assert "userapp" not in engine.monitor.watched()
+    assert len(process.on_exit) == hooks_before - 1
+    assert "userapp" not in engine.components
+
+    # The unhooked process can now exit without triggering recovery.
+    process.exit(0)
+    world.run_for(2_000.0)
+    assert engine.alive
+
+    # Idempotent, and a fresh registration works after the cycle.
+    engine.unregister_component("userapp")
+    replacement = make_component_process(world, node, name="userapp2")
+    engine.register_component("userapp2", ComponentKind.APPLICATION, replacement)
+    assert "userapp2" in engine.monitor.watched()
+
+
+def test_full_pair_teardown_drains_the_kernel():
+    world = started_world()
+    for node in ("alpha", "beta"):
+        world.pair.engines[node].shutdown()
+    world.run_for(2_000.0)  # in-flight network deliveries drain
+    for node in ("alpha", "beta"):
+        world.pair.contexts[node].qmgr.stop()
+    assert world.kernel.pending == 0
+
+
+def test_monitor_detach_after_engine_death():
+    world = started_world()
+    node = world.primary
+    engine = world.pair.engines[node]
+    world.systems[node].power_off()
+    world.run_for(100.0)
+    assert not engine.alive
+    # Death path releases the same resources the orderly path does.
+    assert engine._hb_timer is None
+    assert engine._report_timer is None
+    assert engine.monitor.watched() == []
